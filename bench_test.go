@@ -1,0 +1,202 @@
+// Package armbar's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each iteration
+// regenerates the figure at quick scale and reports the headline shape
+// metric alongside ns/op, so `go test -bench=.` both exercises the
+// harness and surfaces the reproduced trends.
+//
+// Regenerate the full-scale tables with: go run ./cmd/armbar all
+package armbar_test
+
+import (
+	"strconv"
+	"testing"
+
+	"armbar/internal/figures"
+	"armbar/internal/report"
+)
+
+// quick returns the scaled-down options used for bench iterations,
+// varying the seed per iteration so results are not trivially cached.
+func quick(i int) figures.Options {
+	return figures.Options{Quick: true, Seed: int64(100 + i)}
+}
+
+// cell parses a float cell of t.
+func cell(b *testing.B, t *report.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Cell(row, col), 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, t.Cell(row, col), err)
+	}
+	return v
+}
+
+func BenchmarkTable1MessagePassing(b *testing.B) {
+	var anomalies float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Table1(quick(i))
+		anomalies += cell(b, t, 1, 2) // WMM row, anomaly count
+		if got := t.Cell(0, 2); got != "0" {
+			b.Fatalf("TSO must forbid the anomaly, saw %s", got)
+		}
+	}
+	b.ReportMetric(anomalies/float64(b.N), "wmm-anomalies/run")
+}
+
+func BenchmarkTable3Suggestions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := figures.Table3(quick(i))
+		if t.Rows() != 5 {
+			b.Fatalf("suggestion matrix rows = %d, want 5", t.Rows())
+		}
+	}
+}
+
+func BenchmarkFig2IntrinsicOverhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ts := figures.Fig2(quick(i))
+		t := ts[0] // Kunpeng916
+		// DSB (row 4) vs No Barrier (row 0) at the middle nop count.
+		ratio += cell(b, t, 0, 2) / cell(b, t, 4, 2)
+	}
+	b.ReportMetric(ratio/float64(b.N), "nobarrier/dsb-x")
+}
+
+func BenchmarkFig3TwoStores(b *testing.B) {
+	var locRatio float64
+	for i := 0; i < b.N; i++ {
+		ts := figures.Fig3(quick(i))
+		t := ts[1] // cross-node subfigure
+		// DMB full-1 (row 1) vs DMB full-2 (row 2) at the largest padding.
+		locRatio += cell(b, t, 1, 3) / cell(b, t, 2, 3)
+	}
+	b.ReportMetric(locRatio/float64(b.N), "full1/full2")
+}
+
+func BenchmarkFig4TippingPoint(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig4(quick(i))
+		ratio += cell(b, t, 0, 2)
+	}
+	b.ReportMetric(ratio/float64(b.N), "tipping-ratio")
+}
+
+func BenchmarkFig5LoadStore(b *testing.B) {
+	var depVsDSB float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig5(quick(i))
+		// ADDR DEP (last row) vs DSB full-1 (row 5).
+		depVsDSB += cell(b, t, t.Rows()-1, 1) / cell(b, t, 5, 1)
+	}
+	b.ReportMetric(depVsDSB/float64(b.N), "addrdep/dsb1-x")
+}
+
+func BenchmarkFig6aProducerConsumer(b *testing.B) {
+	var bestCombo float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig6a(quick(i))
+		// Cross-node row: DMB ld - DMB st normalized (col 3).
+		bestCombo += cell(b, t, 1, 3)
+	}
+	b.ReportMetric(bestCombo/float64(b.N), "ldst-vs-fullfull-x")
+}
+
+func BenchmarkFig6bPilot(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig6b(quick(i))
+		// Cross-node row: Pilot (col 3) over best combo (col 1).
+		gain += cell(b, t, 1, 3) / cell(b, t, 1, 1)
+	}
+	b.ReportMetric(gain/float64(b.N), "pilot-gain-cross-x")
+}
+
+func BenchmarkFig6cBatching(b *testing.B) {
+	var decline float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig6c(quick(i))
+		// Cross-node row: speedup at 1 word (col 1) vs 32 words (col 6).
+		decline += cell(b, t, 1, 1) / cell(b, t, 1, 6)
+	}
+	b.ReportMetric(decline/float64(b.N), "gain-1w/32w")
+}
+
+func BenchmarkFig6dDedup(b *testing.B) {
+	var rbp float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig6d(quick(i))
+		rbp += cell(b, t, 0, 3) // Small workload, RB-P normalized to Q
+	}
+	b.ReportMetric(rbp/float64(b.N), "rbp-vs-q-x")
+}
+
+func BenchmarkFig7aTicketUnlock(b *testing.B) {
+	var removedGain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig7a(quick(i))
+		// Kunpeng rows are first; Globals=2 row index 2, Removed col 3.
+		removedGain += cell(b, t, 2, 3)
+	}
+	b.ReportMetric(removedGain/float64(b.N), "unlock-removal-x")
+}
+
+func BenchmarkFig7bDelegationCombos(b *testing.B) {
+	var ldarGain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig7b(quick(i))
+		ldarGain += cell(b, t, 2, 1) // LDAR-DMB st normalized
+	}
+	b.ReportMetric(ldarGain/float64(b.N), "ldar-vs-full-x")
+}
+
+func BenchmarkFig7cContention(b *testing.B) {
+	var dsGain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig7c(quick(i))
+		// DSynch-P (row 2) over DSynch (row 1) at interval 0 (col 1).
+		dsGain += cell(b, t, 2, 1) / cell(b, t, 1, 1)
+	}
+	b.ReportMetric(dsGain/float64(b.N), "dsynchp-gain-x")
+}
+
+func BenchmarkFig8aQueueStack(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig8a(quick(i))
+		// Queue row: DSynch-P (col 3) over DSynch (col 2).
+		gain += cell(b, t, 0, 3) / cell(b, t, 0, 2)
+	}
+	b.ReportMetric(gain/float64(b.N), "queue-pilot-gain-x")
+}
+
+func BenchmarkFig8bList(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig8b(quick(i))
+		// DSynch-P (row 2) over DSynch (row 1) at 50 preloaded (col 2).
+		gain += cell(b, t, 2, 2) / cell(b, t, 1, 2)
+	}
+	b.ReportMetric(gain/float64(b.N), "list50-pilot-gain-x")
+}
+
+func BenchmarkFig8cHashTable(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig8c(quick(i))
+		// DSynch-P (row 2) over DSynch (row 1) at 32 buckets (col 2 in
+		// the quick sweep {2, 32, 256}).
+		gain += cell(b, t, 2, 2) / cell(b, t, 1, 2)
+	}
+	b.ReportMetric(gain/float64(b.N), "ht32-pilot-gain-x")
+}
+
+func BenchmarkFig8dFloorplan(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		t := figures.Fig8d(quick(i))
+		rel += cell(b, t, 0, 3) // DSynch-P time relative to DSynch
+	}
+	b.ReportMetric(rel/float64(b.N), "pilot-time-ratio")
+}

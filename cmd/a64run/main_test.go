@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"armbar/internal/platform"
+)
+
+func TestParseFileDirectives(t *testing.T) {
+	s, err := parseFile(example)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.platform != "Kunpeng916" || s.mode != "WMM" || s.runs != 500 || s.seed != 7 {
+		t.Fatalf("directives parsed wrong: %+v", s)
+	}
+	if len(s.vars) != 2 || s.vars[0] != "data" || s.vars[1] != "flag" {
+		t.Fatalf("vars = %v", s.vars)
+	}
+	if len(s.threads) != 2 || s.threads[0].core != 0 || s.threads[1].core != 32 {
+		t.Fatalf("threads parsed wrong")
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus directive":            "unknown directive",
+		"platform":                   "platform needs a name",
+		"runs x\nthread core=0\nend": "bad runs",
+		"seed x\nthread core=0\nend": "bad seed",
+		"thread core=x\nend":         "bad core",
+		"var x":                      "no threads",
+	}
+	for src, want := range cases {
+		_, err := parseFile(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("parseFile(%q) error = %v, want containing %q", src, err, want)
+		}
+	}
+}
+
+func TestRunExampleUnderBothModes(t *testing.T) {
+	s, err := parseFile(example)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.ByName(s.platform)
+
+	// WMM: across a bunch of seeds the anomaly (consumer x0 == 0) must
+	// appear at least once, and the intended 23 as well.
+	sawAnomaly, sawIntended := false, false
+	for r := 0; r < 120; r++ {
+		res, err := run(s, p, int64(100+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res[1] {
+		case 0:
+			sawAnomaly = true
+		case 23:
+			sawIntended = true
+		default:
+			t.Fatalf("impossible consumer value %d", res[1])
+		}
+	}
+	if !sawAnomaly || !sawIntended {
+		t.Fatalf("WMM outcomes incomplete: anomaly=%v intended=%v", sawAnomaly, sawIntended)
+	}
+
+	// TSO: never the anomaly.
+	s.mode = "TSO"
+	for r := 0; r < 60; r++ {
+		res, err := run(s, p, int64(100+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[1] != 23 {
+			t.Fatalf("TSO produced the anomaly: %v", res)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command armbar regenerates the tables and figures of the ARM-barrier
+// study from the simulator-based reproduction.
+//
+// Usage:
+//
+//	armbar [-quick] [-seed N] [-csv] <experiment> [...]
+//
+// Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
+// fig6c fig6d fig7a fig7b fig7c fig8a fig8b fig8c fig8d platforms all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"armbar/internal/ablation"
+	"armbar/internal/figures"
+	"armbar/internal/report"
+)
+
+var (
+	quick  = flag.Bool("quick", false, "shrink iteration counts for a fast smoke run")
+	seed   = flag.Int64("seed", 42, "simulation seed")
+	csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	md     = flag.Bool("md", false, "emit markdown instead of aligned text")
+	outDir = flag.String("o", "", "also write each table as a CSV file into this directory")
+)
+
+// experiments maps names to generator functions.
+var experiments = map[string]func(figures.Options) []*report.Table{
+	"table1":  single(figures.Table1),
+	"table2":  single(figures.Table2),
+	"table3":  single(figures.Table3),
+	"fig2":    figures.Fig2,
+	"fig3":    figures.Fig3,
+	"fig4":    single(figures.Fig4),
+	"fig5":    single(figures.Fig5),
+	"fig6a":   single(figures.Fig6a),
+	"fig6b":   single(figures.Fig6b),
+	"fig6c":   single(figures.Fig6c),
+	"fig6d":   single(figures.Fig6d),
+	"fig7a":   single(figures.Fig7a),
+	"fig7b":   single(figures.Fig7b),
+	"fig7c":   single(figures.Fig7c),
+	"fig8a":   single(figures.Fig8a),
+	"fig8b":   single(figures.Fig8b),
+	"fig8c":   single(figures.Fig8c),
+	"fig8d":   single(figures.Fig8d),
+	"inplace": single(figures.InPlaceLocks),
+	"mpmc":    single(figures.MPMCFanIn),
+	"tso":     single(figures.TSOPorting),
+	"seqlock": single(figures.SeqlockVsPilot),
+	"a64":     single(figures.A64CrossCheck),
+	"ablation": func(o figures.Options) []*report.Table {
+		return ablation.All(ablation.Options{Quick: o.Quick, Seed: o.Seed})
+	},
+}
+
+func single(f func(figures.Options) *report.Table) func(figures.Options) []*report.Table {
+	return func(o figures.Options) []*report.Table { return []*report.Table{f(o)} }
+}
+
+func names() []string {
+	out := make([]string, 0, len(experiments))
+	for k := range experiments {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-csv] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
+		os.Exit(2)
+	}
+	if args[0] == "all" {
+		args = names()
+	} else if args[0] == "platforms" {
+		args = []string{"table2"}
+	}
+	o := figures.Options{Quick: *quick, Seed: *seed}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "armbar: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range args {
+		gen, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "armbar: unknown experiment %q (have: %s)\n",
+				name, strings.Join(names(), " "))
+			os.Exit(2)
+		}
+		tables := gen(o)
+		for i, t := range tables {
+			switch {
+			case *csv:
+				fmt.Print(t.CSV())
+			case *md:
+				fmt.Println(t.Markdown())
+			default:
+				fmt.Println(t.String())
+			}
+			if *outDir != "" {
+				file := filepath.Join(*outDir, name+".csv")
+				if len(tables) > 1 {
+					file = filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", name, i))
+				}
+				if err := os.WriteFile(file, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "armbar: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Characterize example: define a custom platform model and run the
+// paper's abstracted two-store model on it, printing the barrier cost
+// ladder. Use this as a template to explore how bus parameters shape
+// barrier behavior.
+//
+// Run with: go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+
+	"armbar/internal/absmodel"
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+// custom builds a made-up 2-node, 16-core platform with an
+// exaggeratedly slow interconnect, to contrast with the presets.
+func custom() *platform.Platform {
+	s := topo.New()
+	for node := 0; node < 2; node++ {
+		for cl := 0; cl < 2; cl++ {
+			s.AddCluster(node, topo.Big, 4)
+		}
+	}
+	return &platform.Platform{
+		Name:         "CustomSlowBus",
+		Arch:         "hypothetical 4x4",
+		Interconnect: "slow mesh",
+		Sys:          s,
+		Cost: platform.CostModel{
+			FreqGHz:            2.0,
+			IssueWidth:         2,
+			CacheHit:           3,
+			StoreBufferLatency: 1,
+			StoreBufferEntries: 16,
+			DrainDelay:         10,
+			DrainJitter:        40,
+			MissSameCluster:    60,
+			MissSameNode:       120,
+			MissCrossNode:      500,
+			InvalidationDelay:  60,
+
+			BarrierTxnSameCluster: 30,
+			BarrierTxnSameNode:    60,
+			BarrierTxnCrossNode:   400,
+			SyncTxn:               900,
+
+			PipelineFlush:  25,
+			STLRPenaltyMin: 200,
+			STLRPenaltyMax: 800,
+		},
+	}
+}
+
+func main() {
+	p := custom()
+	cross := [2]topo.CoreID{p.Sys.NodeCores(0)[0], p.Sys.NodeCores(1)[0]}
+	fmt.Printf("two-store abstracted model on %s, cross-node, 300 nops\n\n", p.Name)
+	fmt.Printf("%-14s %12s\n", "barrier", "Mloops/s")
+	for _, v := range absmodel.Figure3Variants() {
+		r := absmodel.Run(absmodel.Config{
+			Plat:    p,
+			Cores:   cross,
+			Pattern: absmodel.TwoStores,
+			Variant: v,
+			Nops:    300,
+			Seed:    9,
+		})
+		fmt.Printf("%-14s %12.2f\n", v.Name(), r.Throughput()/1e6)
+	}
+	fmt.Println("\nsuggestion for store->store ordering:",
+		isa.Best(isa.Store, isa.Stores))
+	n, ratio := absmodel.TippingPoint(p, cross, 0.95, 9)
+	fmt.Printf("tipping point: %d nops hide DMB full at LOC_2 (full-1:full-2 = %.2f)\n", n, ratio)
+}

@@ -1,0 +1,97 @@
+// Pipeline example: a three-stage, dedup-style compressor connected by
+// Pilot ring buffers (real goroutines, no simulator). Each hop avoids
+// the publication barrier the conventional counter+flag protocol would
+// need on a weakly-ordered machine, and touches fewer cache lines.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"armbar/internal/core"
+)
+
+const (
+	chunks = 200_000
+	eos    = ^uint64(0) // end-of-stream sentinel
+)
+
+// chunkValue synthesizes chunk i's fingerprint; every fourth chunk
+// repeats an earlier one so deduplication has hits.
+func chunkValue(i int) uint64 {
+	if i%4 == 3 {
+		return chunkValue(i / 2 >> 1 << 1)
+	}
+	return uint64(i)*0x9E3779B97F4A7C15 + 1
+}
+
+func main() {
+	hop1 := core.NewRing(64, 1)
+	hop2 := core.NewRing(64, 2)
+
+	// Stage 1: chunker.
+	go func() {
+		p := hop1.Producer()
+		for i := 0; i < chunks; i++ {
+			p.Send(chunkValue(i))
+		}
+		p.Send(eos)
+	}()
+
+	// Stage 2: dedup.
+	go func() {
+		c := hop1.Consumer()
+		p := hop2.Producer()
+		seen := make(map[uint64]bool, chunks)
+		for {
+			v := c.Recv()
+			if v == eos {
+				p.Send(eos)
+				return
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			p.Send(v)
+		}
+	}()
+
+	// Stage 3: "compress" (fold into a checksum).
+	start := time.Now()
+	c := hop2.Consumer()
+	var checksum uint64
+	unique := 0
+	for {
+		v := c.Recv()
+		if v == eos {
+			break
+		}
+		checksum ^= v * 0x94D049BB133111EB
+		unique++
+	}
+	elapsed := time.Since(start)
+
+	// Sequential reference for validation.
+	seen := make(map[uint64]bool, chunks)
+	var want uint64
+	wantUnique := 0
+	for i := 0; i < chunks; i++ {
+		v := chunkValue(i)
+		if !seen[v] {
+			seen[v] = true
+			wantUnique++
+			want ^= v * 0x94D049BB133111EB
+		}
+	}
+
+	fmt.Printf("pipeline: %d chunks, %d unique, %.1f M chunks/s\n",
+		chunks, unique, float64(chunks)/elapsed.Seconds()/1e6)
+	if checksum == want && unique == wantUnique {
+		fmt.Println("output matches the sequential reference ✓")
+	} else {
+		fmt.Printf("MISMATCH: got (%x,%d) want (%x,%d)\n", checksum, unique, want, wantUnique)
+	}
+}

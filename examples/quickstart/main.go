@@ -1,0 +1,70 @@
+// Quickstart for the Pilot library: a real (non-simulated) SPSC
+// exchange over core.Word and core.Ring using sync/atomic — no mutex,
+// no publication barrier, the data word itself is the ready signal.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"armbar/internal/core"
+)
+
+func main() {
+	// --- Single-slot Pilot channel ---------------------------------
+	// The sender piggybacks the "message ready" flag onto the payload:
+	// one atomic 64-bit store publishes both at once. The ack channel
+	// supplies the backpressure a single slot needs.
+	s, r := core.NewPair(1)
+	ack := make(chan struct{}, 1)
+	ack <- struct{}{}
+	go func() {
+		for i := uint64(1); i <= 5; i++ {
+			<-ack
+			s.Send(i * 100)
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		fmt.Println("word recv:", r.Recv())
+		ack <- struct{}{}
+	}
+
+	// --- Pilot ring buffer -----------------------------------------
+	// The buffered form: slot stores are the availability signals, so
+	// the producer never issues a barrier between "write data" and
+	// "publish"; the consumer never reads a producer counter.
+	ring := core.NewRing(8, 7)
+	prod := ring.Producer()
+	cons := ring.Consumer()
+	const n = 1_000_000
+	start := time.Now()
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			prod.Send(i)
+		}
+	}()
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += cons.Recv()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ring: %d msgs in %v (%.1f M msg/s), checksum %d\n",
+		n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds()/1e6, sum)
+
+	// --- Batched Pilot ----------------------------------------------
+	// Messages longer than 64 bits: Pilot applies per 8-byte slice with
+	// per-slice fallback flags, still barrier-free.
+	bs, br := core.NewBatchPair(4, 3)
+	done := make(chan struct{})
+	go func() {
+		bs.Send([]uint64{10, 20, 30, 40})
+		close(done)
+	}()
+	out := make([]uint64, 4)
+	br.Recv(out)
+	<-done
+	fmt.Println("batch recv:", out)
+}

@@ -1,0 +1,3 @@
+module armbar
+
+go 1.22

@@ -1,0 +1,209 @@
+package a64
+
+import (
+	"strings"
+	"testing"
+
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+func runOn(t *testing.T, src string, setup func(m *sim.Machine) Regs) (Regs, float64) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 2})
+	regs := setup(m)
+	var out Regs
+	m.Spawn(0, func(th *sim.Thread) {
+		r, _, err := p.Exec(th, regs, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		out = r
+	})
+	cycles := m.Run()
+	return out, cycles
+}
+
+func TestALUAndBranches(t *testing.T) {
+	// Sum 1..10 with a loop.
+	src := `
+		mov x0, #0      // sum
+		mov x1, #1      // i
+	loop:
+		add x0, x0, x1
+		add x1, x1, #1
+		cmp x1, #10
+		ble loop
+	`
+	regs, _ := runOn(t, src, func(*sim.Machine) Regs { return Regs{} })
+	if regs[0] != 55 {
+		t.Fatalf("sum = %d, want 55", regs[0])
+	}
+	if regs[1] != 11 {
+		t.Fatalf("i = %d, want 11", regs[1])
+	}
+}
+
+func TestMemoryAndXZR(t *testing.T) {
+	src := `
+		mov x2, #77
+		str x2, [x0]
+		ldr x3, [x0]
+		str x3, [x0, #8]
+		ldr x4, [x0, #8]
+		eor x5, x4, x4
+		mov xzr, #9    // discarded
+		ldr x6, [x0]
+	`
+	var addr uint64
+	regs, _ := runOn(t, src, func(m *sim.Machine) Regs {
+		addr = m.Alloc(1)
+		var r Regs
+		r[0] = addr
+		return r
+	})
+	if regs[3] != 77 || regs[4] != 77 || regs[6] != 77 {
+		t.Fatalf("memory round trip broke: %v", regs[:8])
+	}
+	if regs[5] != 0 {
+		t.Fatalf("eor self = %d", regs[5])
+	}
+}
+
+func TestCbzCbnz(t *testing.T) {
+	src := `
+		mov x0, #3
+	dec:
+		cbz x0, done
+		sub x0, x0, #1
+		b dec
+	done:
+		mov x1, #42
+	`
+	regs, _ := runOn(t, src, func(*sim.Machine) Regs { return Regs{} })
+	if regs[0] != 0 || regs[1] != 42 {
+		t.Fatalf("cbz loop: %v", regs[:2])
+	}
+}
+
+// algorithm1 is the paper's abstracted-model loop (Algorithm 1)
+// transcribed: walk two line arrays, store to both with a barrier at
+// LOC_1, nops between.
+const algorithm1 = `
+loop:
+	add x0, x0, #64
+	add x1, x1, #64
+	str x3, [x0]
+	dmb ishst      ; BARRIER_LOC_1
+	nop
+	nop
+	nop
+	nop
+	str x4, [x1]
+	add x2, x2, #1
+	cmp x2, x5
+	ble loop
+`
+
+func TestAlgorithm1Verbatim(t *testing.T) {
+	p, err := Parse(algorithm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 4})
+	const lines = 16
+	const iters = 200
+	arrA := m.Alloc(lines + iters/lines + 2)
+	arrB := m.Alloc(lines + iters/lines + 2)
+	for i := 0; i < 2; i++ {
+		core := topo.CoreID(i * 4)
+		m.Spawn(core, func(th *sim.Thread) {
+			var r Regs
+			r[0] = arrA - 64 // pre-decremented; the loop bumps first
+			r[1] = arrB - 64
+			r[2] = 1
+			r[3] = 7
+			r[4] = 9
+			r[5] = iters
+			if _, n, err := p.Exec(th, r, 0); err != nil {
+				t.Error(err)
+			} else if n < iters*10 {
+				t.Errorf("executed only %d instructions", n)
+			}
+		})
+	}
+	cycles := m.Run()
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if m.Stats().MemTxns == 0 {
+		t.Error("the dmb ishst should have issued barrier transactions")
+	}
+}
+
+func TestBarrierMnemonics(t *testing.T) {
+	for _, src := range []string{
+		"dmb ish", "dmb ishst", "dmb ishld",
+		"dsb ish", "dsb ishst", "dsb ishld", "isb",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestAcquireReleaseMnemonics(t *testing.T) {
+	src := `
+		mov x1, #5
+		stlr x1, [x0]
+		ldar x2, [x0]
+		ldapr x3, [x0]
+	`
+	regs, _ := runOn(t, src, func(m *sim.Machine) Regs {
+		var r Regs
+		r[0] = m.Alloc(1)
+		return r
+	})
+	if regs[2] != 5 || regs[3] != 5 {
+		t.Fatalf("acquire loads: %v", regs[:4])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"frob x0":           "unknown mnemonic",
+		"mov x99, #1":       "bad register",
+		"dmb":               "needs an option",
+		"dmb osh":           "unknown barrier option",
+		"b nowhere":         "undefined label",
+		"ldr x0, x1":        "bad memory operand",
+		"x: nop\nx: nop":    "duplicate label",
+		"add x0, x1":        "needs 3 operands",
+		"ldr x0, [x1, foo]": "bad offset",
+	}
+	for src, want := range cases {
+		_, err := Parse(src)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", src, err, want)
+		}
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p, err := Parse("spin: b spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(sim.Config{Plat: platform.RaspberryPi4(), Mode: sim.WMM, Seed: 1})
+	m.Spawn(0, func(th *sim.Thread) {
+		if _, _, err := p.Exec(th, Regs{}, 1000); err == nil {
+			t.Error("infinite loop should exhaust the budget")
+		}
+	})
+	m.Run()
+}

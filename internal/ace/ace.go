@@ -1,0 +1,96 @@
+// Package ace models the barrier-transaction side of an AMBA ACE
+// interconnect, the mechanism behind the paper's hardware story (§2.3):
+//
+//   - A DMB typically translates to a *memory barrier transaction* that
+//     must reach the inner **bi-section** boundary downstream of every
+//     master that may hold affected data, and wait for outstanding snoop
+//     transactions to finish, before a response is returned. Its cost
+//     therefore depends on how far the communicating masters are spread
+//     (same cluster < same NUMA node < cross node) — Observation 5.
+//
+//   - A DSB translates to a *synchronization barrier transaction* that
+//     must always reach the inner **domain** boundary (downstream of all
+//     masters), so it never benefits from locality — Observations 1 & 5.
+//
+// The fabric computes *response times*; what an issuing core does while
+// waiting (block everything, block only stores, …) is the simulator's
+// concern.
+package ace
+
+import (
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+// TxnKind distinguishes the two ACE barrier transactions.
+type TxnKind int
+
+const (
+	// MemoryBarrier is the transaction a DMB issues.
+	MemoryBarrier TxnKind = iota
+	// SyncBarrier is the transaction a DSB issues.
+	SyncBarrier
+)
+
+func (k TxnKind) String() string {
+	if k == MemoryBarrier {
+		return "memory-barrier"
+	}
+	return "synchronization-barrier"
+}
+
+// Fabric is the interconnect of one simulated machine.
+type Fabric struct {
+	sys  *topo.System
+	cost *platform.CostModel
+
+	// Stats
+	MemTxns  uint64
+	SyncTxns uint64
+}
+
+// NewFabric returns a fabric over the given topology and cost model.
+func NewFabric(sys *topo.System, cost *platform.CostModel) *Fabric {
+	return &Fabric{sys: sys, cost: cost}
+}
+
+// Span computes the widest distance among a set of participating cores:
+// the boundary a memory barrier transaction must reach so that every
+// listed master is upstream of it. A single core (or empty set) spans
+// SameCluster — the transaction still leaves the core.
+func (f *Fabric) Span(cores []topo.CoreID) topo.Distance {
+	span := topo.SameCluster
+	for i := 0; i < len(cores); i++ {
+		for j := i + 1; j < len(cores); j++ {
+			if d := f.sys.DistanceBetween(cores[i], cores[j]); d > span {
+				span = d
+			}
+		}
+	}
+	return span
+}
+
+// Response returns the time at which the interconnect answers a barrier
+// transaction of the given kind issued at time issue, when the issuing
+// core's outstanding snooped accesses complete at time outstanding
+// (0 if none), for masters spread over span.
+//
+// The response cannot be sent before previous snoop transactions have
+// finished (hence the max with outstanding) plus the round trip to the
+// required boundary.
+func (f *Fabric) Response(kind TxnKind, issue, outstanding float64, span topo.Distance) float64 {
+	start := issue
+	if outstanding > start {
+		start = outstanding
+	}
+	switch kind {
+	case MemoryBarrier:
+		f.MemTxns++
+		return start + f.cost.BarrierTxn(span)
+	default:
+		f.SyncTxns++
+		// The synchronization barrier transaction always travels to the
+		// inner domain boundary: no locality discount.
+		return start + f.cost.SyncTxn
+	}
+}

@@ -1,0 +1,78 @@
+package ace
+
+import (
+	"testing"
+
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+func fabric() (*Fabric, *platform.Platform) {
+	p := platform.Kunpeng916()
+	return NewFabric(p.Sys, &p.Cost), p
+}
+
+func TestSpan(t *testing.T) {
+	f, p := fabric()
+	n0 := p.Sys.NodeCores(0)
+	n1 := p.Sys.NodeCores(1)
+	if got := f.Span(nil); got != topo.SameCluster {
+		t.Errorf("empty span = %v, want same-cluster", got)
+	}
+	if got := f.Span([]topo.CoreID{n0[0], n0[1]}); got != topo.SameCluster {
+		t.Errorf("same-cluster span = %v", got)
+	}
+	if got := f.Span([]topo.CoreID{n0[0], n0[7]}); got != topo.SameNode {
+		t.Errorf("same-node span = %v", got)
+	}
+	if got := f.Span([]topo.CoreID{n0[0], n0[4], n1[0]}); got != topo.CrossNode {
+		t.Errorf("cross-node span = %v", got)
+	}
+}
+
+func TestMemoryBarrierRespectsLocality(t *testing.T) {
+	// Obs 5: a memory barrier transaction reaches only the bi-section
+	// boundary of the spanned cores; wider spans cost more.
+	f, _ := fabric()
+	same := f.Response(MemoryBarrier, 100, 0, topo.SameCluster)
+	node := f.Response(MemoryBarrier, 100, 0, topo.SameNode)
+	cross := f.Response(MemoryBarrier, 100, 0, topo.CrossNode)
+	if !(same < node && node < cross) {
+		t.Errorf("locality ordering broken: %v %v %v", same, node, cross)
+	}
+}
+
+func TestSyncBarrierIgnoresLocality(t *testing.T) {
+	// Obs 5: DSB always travels to the inner domain boundary.
+	f, _ := fabric()
+	a := f.Response(SyncBarrier, 100, 0, topo.SameCluster)
+	b := f.Response(SyncBarrier, 100, 0, topo.CrossNode)
+	if a != b {
+		t.Errorf("sync barrier must not depend on span: %v vs %v", a, b)
+	}
+	m := f.Response(MemoryBarrier, 100, 0, topo.CrossNode)
+	if b <= m {
+		t.Errorf("sync barrier (%v) must exceed memory barrier (%v)", b, m)
+	}
+}
+
+func TestOutstandingDelaysResponse(t *testing.T) {
+	// The response cannot be sent before prior snoop transactions
+	// finish (the Obs-2 mechanism).
+	f, _ := fabric()
+	early := f.Response(MemoryBarrier, 100, 0, topo.SameNode)
+	late := f.Response(MemoryBarrier, 100, 500, topo.SameNode)
+	if late-early != 400 {
+		t.Errorf("outstanding snoops must shift the response: %v vs %v", early, late)
+	}
+}
+
+func TestTxnCounting(t *testing.T) {
+	f, _ := fabric()
+	f.Response(MemoryBarrier, 0, 0, topo.SameNode)
+	f.Response(SyncBarrier, 0, 0, topo.SameNode)
+	f.Response(SyncBarrier, 0, 0, topo.SameNode)
+	if f.MemTxns != 1 || f.SyncTxns != 2 {
+		t.Errorf("txn counters = %d/%d, want 1/2", f.MemTxns, f.SyncTxns)
+	}
+}

@@ -1,0 +1,231 @@
+// Package conformance checks the simulator's memory model against a
+// sequential-consistency oracle: for small random multithreaded
+// programs whose every operation is separated by a full barrier, any
+// outcome the simulator produces must be explainable by *some*
+// interleaving of the threads' operations — fully fenced execution can
+// be weaker than SC in latency but never in observable values.
+//
+// The oracle enumerates every interleaving exhaustively, so programs
+// stay small (2-3 threads, a handful of ops); the simulator side runs
+// each program under many seeds to visit different timing paths.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// OpKind is a program operation.
+type OpKind int
+
+const (
+	// OpLoad reads an address into the next result slot.
+	OpLoad OpKind = iota
+	// OpStore writes a constant to an address.
+	OpStore
+)
+
+// Op is one operation of a thread program.
+type Op struct {
+	Kind  OpKind
+	Addr  int    // variable index
+	Value uint64 // stored value (OpStore)
+}
+
+// Program is a multithreaded litmus-style program.
+type Program struct {
+	Vars    int
+	Threads [][]Op
+}
+
+// String renders the program compactly.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, th := range p.Threads {
+		fmt.Fprintf(&b, "T%d:", i)
+		for _, op := range th {
+			if op.Kind == OpLoad {
+				fmt.Fprintf(&b, " r=x%d;", op.Addr)
+			} else {
+				fmt.Fprintf(&b, " x%d=%d;", op.Addr, op.Value)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Outcome is the concatenated load results of all threads, in program
+// order per thread, threads in order.
+type Outcome string
+
+func formatOutcome(loads [][]uint64) Outcome {
+	var b strings.Builder
+	for i, ls := range loads {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, v := range ls {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	return Outcome(b.String())
+}
+
+// Random generates a random program with the given shape.
+func Random(rng *rand.Rand, threads, opsPerThread, vars int) *Program {
+	p := &Program{Vars: vars, Threads: make([][]Op, threads)}
+	for t := range p.Threads {
+		ops := make([]Op, opsPerThread)
+		for i := range ops {
+			if rng.Intn(2) == 0 {
+				ops[i] = Op{Kind: OpLoad, Addr: rng.Intn(vars)}
+			} else {
+				ops[i] = Op{Kind: OpStore, Addr: rng.Intn(vars),
+					Value: uint64(rng.Intn(3) + 1)}
+			}
+		}
+		p.Threads[t] = ops
+	}
+	return p
+}
+
+// SCOutcomes enumerates every interleaving and returns the set of
+// sequentially consistent outcomes.
+func SCOutcomes(p *Program) map[Outcome]bool {
+	out := make(map[Outcome]bool)
+	pcs := make([]int, len(p.Threads))
+	mem := make([]uint64, p.Vars)
+	loads := make([][]uint64, len(p.Threads))
+
+	var walk func()
+	walk = func() {
+		done := true
+		for t := range p.Threads {
+			if pcs[t] >= len(p.Threads[t]) {
+				continue
+			}
+			done = false
+			op := p.Threads[t][pcs[t]]
+			pcs[t]++
+			switch op.Kind {
+			case OpLoad:
+				loads[t] = append(loads[t], mem[op.Addr])
+				walk()
+				loads[t] = loads[t][:len(loads[t])-1]
+			case OpStore:
+				prev := mem[op.Addr]
+				mem[op.Addr] = op.Value
+				walk()
+				mem[op.Addr] = prev
+			}
+			pcs[t]--
+		}
+		if done {
+			out[formatOutcome(loads)] = true
+		}
+	}
+	walk()
+	return out
+}
+
+// RunSim executes the program once on the simulator with a full
+// barrier after every operation, returning the outcome.
+func RunSim(p *Program, plat *platform.Platform, mode sim.Mode, seed int64) Outcome {
+	m := sim.New(sim.Config{Plat: plat, Mode: mode, Seed: seed})
+	addrs := make([]uint64, p.Vars)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+	}
+	loads := make([][]uint64, len(p.Threads))
+	cores := spread(plat, len(p.Threads))
+	for t := range p.Threads {
+		t := t
+		m.Spawn(cores[t], func(th *sim.Thread) {
+			for _, op := range p.Threads[t] {
+				switch op.Kind {
+				case OpLoad:
+					loads[t] = append(loads[t], th.Load(addrs[op.Addr]))
+				case OpStore:
+					th.Store(addrs[op.Addr], op.Value)
+				}
+				th.Barrier(isa.DMBFull)
+			}
+		})
+	}
+	m.Run()
+	return formatOutcome(loads)
+}
+
+// spread places n threads on distinct cores across nodes.
+func spread(p *platform.Platform, n int) []topo.CoreID {
+	var lists [][]topo.CoreID
+	for node := 0; node < p.Sys.NumNodes(); node++ {
+		lists = append(lists, p.Sys.NodeCores(node))
+	}
+	cores := make([]topo.CoreID, 0, n)
+	for i := 0; len(cores) < n; i++ {
+		l := lists[i%len(lists)]
+		cores = append(cores, l[(i/len(lists))%len(l)])
+	}
+	return cores
+}
+
+// Check runs the program under `seeds` simulator seeds and reports the
+// first outcome not in the SC set (empty string if all conform).
+func Check(p *Program, plat *platform.Platform, mode sim.Mode, seeds int, base int64) (Outcome, bool) {
+	sc := SCOutcomes(p)
+	for s := 0; s < seeds; s++ {
+		got := RunSim(p, plat, mode, base+int64(s))
+		if !sc[got] {
+			return got, false
+		}
+	}
+	return "", true
+}
+
+// SortedOutcomes lists an outcome set for debugging.
+func SortedOutcomes(set map[Outcome]bool) []string {
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, string(o))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunSimUnfenced executes the program with no barriers at all.
+func RunSimUnfenced(p *Program, plat *platform.Platform, mode sim.Mode, seed int64) Outcome {
+	m := sim.New(sim.Config{Plat: plat, Mode: mode, Seed: seed})
+	addrs := make([]uint64, p.Vars)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+	}
+	loads := make([][]uint64, len(p.Threads))
+	cores := spread(plat, len(p.Threads))
+	for t := range p.Threads {
+		t := t
+		m.Spawn(cores[t], func(th *sim.Thread) {
+			for _, op := range p.Threads[t] {
+				switch op.Kind {
+				case OpLoad:
+					loads[t] = append(loads[t], th.Load(addrs[op.Addr]))
+				case OpStore:
+					th.Store(addrs[op.Addr], op.Value)
+				}
+			}
+		})
+	}
+	m.Run()
+	return formatOutcome(loads)
+}

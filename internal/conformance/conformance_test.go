@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+)
+
+func TestSCOracleKnownProgram(t *testing.T) {
+	// Classic store buffering: T0: x=1; r=y  T1: y=1; r=x.
+	// SC forbids r0=0 ∧ r1=0 but allows the other three combinations.
+	p := &Program{
+		Vars: 2,
+		Threads: [][]Op{
+			{{Kind: OpStore, Addr: 0, Value: 1}, {Kind: OpLoad, Addr: 1}},
+			{{Kind: OpStore, Addr: 1, Value: 1}, {Kind: OpLoad, Addr: 0}},
+		},
+	}
+	sc := SCOutcomes(p)
+	if sc["0|0"] {
+		t.Fatalf("SC oracle allowed the forbidden SB outcome: %v", SortedOutcomes(sc))
+	}
+	for _, want := range []Outcome{"1|1", "0|1", "1|0"} {
+		if !sc[want] {
+			t.Errorf("SC oracle missing allowed outcome %s: %v", want, SortedOutcomes(sc))
+		}
+	}
+}
+
+func TestFencedSimConformsToSC(t *testing.T) {
+	// Random fully-fenced programs: every simulator outcome, under WMM
+	// and TSO, must be SC-explainable.
+	rng := rand.New(rand.NewSource(99))
+	plats := []*platform.Platform{platform.Kunpeng916(), platform.Kirin960()}
+	for trial := 0; trial < 25; trial++ {
+		p := Random(rng, 3, 4, 2)
+		for _, plat := range plats {
+			for _, mode := range []sim.Mode{sim.WMM, sim.TSO} {
+				if bad, ok := Check(p, plat, mode, 8, int64(trial)*100); !ok {
+					t.Fatalf("trial %d (%s, %v): outcome %q not in SC set\nprogram:\n%s\nSC: %v",
+						trial, plat.Name, mode, bad, p, SortedOutcomes(SCOutcomes(p)))
+				}
+			}
+		}
+	}
+}
+
+func TestFencedSimConformsToSCBiggerPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	plat := platform.Kunpeng916()
+	for trial := 0; trial < 10; trial++ {
+		p := Random(rng, 2, 6, 3)
+		if bad, ok := Check(p, plat, sim.WMM, 12, int64(trial)*977); !ok {
+			t.Fatalf("trial %d: outcome %q not SC\nprogram:\n%s", trial, bad, p)
+		}
+	}
+}
+
+func TestSingleAddressCoherenceUnfenced(t *testing.T) {
+	// Per-location coherence: programs over ONE variable must be SC
+	// even with no barriers — the cache protocol alone provides it.
+	rng := rand.New(rand.NewSource(31))
+	plat := platform.Kunpeng916()
+	for trial := 0; trial < 20; trial++ {
+		p := Random(rng, 3, 4, 1) // one shared variable
+		sc := SCOutcomes(p)
+		for s := 0; s < 10; s++ {
+			got := RunSimUnfenced(p, plat, sim.WMM, int64(trial*37+s))
+			if !sc[got] {
+				t.Fatalf("trial %d: single-address outcome %q not SC\nprogram:\n%s\nSC: %v",
+					trial, got, p, SortedOutcomes(sc))
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// The real-library benchmarks compare Pilot's SPSC forms against the
+// standard Go alternatives on this host. On a weakly-ordered ARM
+// machine Pilot additionally saves the publication barrier; on any
+// machine it saves cache-line traffic versus counter-based designs.
+
+func BenchmarkPilotWordRoundTrip(b *testing.B) {
+	s, r := NewPair(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Send(uint64(i))
+		if r.Recv() != uint64(i) {
+			b.Fatal("corrupt")
+		}
+	}
+}
+
+func BenchmarkPilotRing(b *testing.B) {
+	ring := NewRing(1024, 7)
+	p := ring.Producer()
+	c := ring.Consumer()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.ResetTimer()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			p.Send(uint64(i))
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if c.Recv() != uint64(i) {
+			b.Fatal("corrupt")
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkGoChannel(b *testing.B) {
+	ch := make(chan uint64, 1024)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.ResetTimer()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			ch <- uint64(i)
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if <-ch != uint64(i) {
+			b.Fatal("corrupt")
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkMutexQueue(b *testing.B) {
+	var mu sync.Mutex
+	queue := make([]uint64, 0, 1024)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.ResetTimer()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			for {
+				mu.Lock()
+				if len(queue) < 1024 {
+					queue = append(queue, uint64(i))
+					mu.Unlock()
+					break
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+	got := 0
+	for got < b.N {
+		mu.Lock()
+		if len(queue) > 0 {
+			queue = queue[1:]
+			got++
+		}
+		mu.Unlock()
+	}
+	wg.Wait()
+}
+
+func BenchmarkPilotBatch8(b *testing.B) {
+	s, r := NewBatchPair(8, 3)
+	msg := make([]uint64, 8)
+	out := make([]uint64, 8)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range msg {
+			msg[j] = uint64(i + j)
+		}
+		s.Send(msg)
+		r.Recv(out)
+	}
+}
+
+func BenchmarkCombiner(b *testing.B) {
+	c := NewCombiner(1, 9)
+	s := c.Register()
+	var counter uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Do(func() uint64 {
+			counter++
+			return counter
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Broadcast is the single-writer, many-reader face of Pilot: a
+// published 64-bit value whose updates readers detect as "the word
+// changed", with the usual shuffle + fallback so identical consecutive
+// publications are still observed. Unlike Word, readers do not consume
+// messages — each reader independently tracks the last state it saw,
+// so any number of readers can watch one writer (a config knob, an
+// epoch counter, a published pointer index, ...).
+//
+// The writer must not publish faster than readers poll if every update
+// matters; readers that poll slower simply observe the latest state
+// (reads never block the writer).
+type Broadcast struct {
+	w    Word
+	seed uint64
+	// gen counts publications; readers use it to resynchronize their
+	// pool index after missing updates.
+	gen atomic.Uint64
+}
+
+// NewBroadcast returns a broadcast cell publishing from seed's pool.
+func NewBroadcast(seed uint64) *Broadcast {
+	return &Broadcast{seed: seed}
+}
+
+// BroadcastWriter is the publishing half; single goroutine only.
+type BroadcastWriter struct {
+	b       *Broadcast
+	pool    []uint64
+	cnt     uint64
+	oldData uint64
+	flag    uint64
+}
+
+// BroadcastReader is one subscriber; single goroutine per reader.
+type BroadcastReader struct {
+	b        *Broadcast
+	pool     []uint64
+	lastData uint64
+	lastFlag uint64
+	lastGen  uint64
+	val      uint64
+	has      bool
+}
+
+// Writer returns the publishing half.
+func (b *Broadcast) Writer() *BroadcastWriter {
+	return &BroadcastWriter{b: b, pool: HashPool(b.seed)}
+}
+
+// Reader returns a new independent subscriber.
+func (b *Broadcast) Reader() *BroadcastReader {
+	return &BroadcastReader{b: b, pool: HashPool(b.seed)}
+}
+
+// Publish makes v the current value with a single data store (plus a
+// generation bump that readers use only to pick the right decode key).
+func (w *BroadcastWriter) Publish(v uint64) {
+	enc := v ^ w.pool[w.cnt%PoolSize]
+	w.cnt++
+	// The generation is bumped first; readers read it after seeing the
+	// data change (gen is monotonic, so a racing reader at worst
+	// re-reads).
+	w.b.gen.Store(w.cnt)
+	if enc == w.oldData {
+		w.flag ^= 1
+		w.b.w.flag.Store(w.flag)
+		return
+	}
+	w.b.w.data.Store(enc)
+	w.oldData = enc
+}
+
+// Poll returns the latest published value and whether any value has
+// been published yet. It never blocks. The fast path touches only the
+// Pilot word's cache line; the generation counter is consulted only
+// when a change is detected, to pick the decode key (and to catch up
+// after missing intermediate publications).
+func (r *BroadcastReader) Poll() (uint64, bool) {
+	d := r.b.w.data.Load()
+	f := r.b.w.flag.Load()
+	if d == r.lastData && f == r.lastFlag {
+		return r.val, r.has
+	}
+	// Something changed: take a generation-stable snapshot to decode.
+	gen := r.b.gen.Load()
+	for {
+		d = r.b.w.data.Load()
+		f = r.b.w.flag.Load()
+		again := r.b.gen.Load()
+		if again == gen && gen > 0 {
+			r.lastData, r.lastFlag = d, f
+			r.val = d ^ r.pool[(gen-1)%PoolSize]
+			r.lastGen = gen
+			r.has = true
+			return r.val, true
+		}
+		gen = again
+	}
+}
+
+// Wait blocks (spinning with scheduler yields) until the generation
+// advances past the last value this reader saw, then returns it.
+func (r *BroadcastReader) Wait() uint64 {
+	last := r.lastGen
+	for spins := 0; ; spins++ {
+		if v, ok := r.Poll(); ok && r.lastGen != last {
+			return v
+		}
+		if spins%spinYield == spinYield-1 {
+			runtime.Gosched()
+		}
+	}
+}

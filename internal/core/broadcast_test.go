@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcastSequential(t *testing.T) {
+	b := NewBroadcast(3)
+	w := b.Writer()
+	r := b.Reader()
+	if _, ok := r.Poll(); ok {
+		t.Fatal("fresh broadcast must report no value")
+	}
+	for i := uint64(1); i <= 300; i++ {
+		w.Publish(i * 3)
+		v, ok := r.Poll()
+		if !ok || v != i*3 {
+			t.Fatalf("publication %d: got (%d,%v)", i, v, ok)
+		}
+		// Re-poll without a new publication: same value, no change.
+		if v2, _ := r.Poll(); v2 != i*3 {
+			t.Fatalf("stable re-poll broke: %d", v2)
+		}
+	}
+}
+
+func TestBroadcastRepeatedValueStillSignals(t *testing.T) {
+	b := NewBroadcast(5)
+	w := b.Writer()
+	r := b.Reader()
+	for i := 0; i < 100; i++ {
+		w.Publish(42)
+		if v := r.Wait(); v != 42 {
+			t.Fatalf("round %d: got %d", i, v)
+		}
+	}
+}
+
+func TestBroadcastManyReaders(t *testing.T) {
+	b := NewBroadcast(7)
+	w := b.Writer()
+	const readers = 5
+	rs := make([]*BroadcastReader, readers)
+	for i := range rs {
+		rs[i] = b.Reader()
+	}
+	for i := uint64(1); i <= 100; i++ {
+		w.Publish(i)
+		for j, r := range rs {
+			if v, ok := r.Poll(); !ok || v != i {
+				t.Fatalf("reader %d publication %d: got (%d,%v)", j, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestBroadcastLaggingReaderSeesLatest(t *testing.T) {
+	b := NewBroadcast(9)
+	w := b.Writer()
+	r := b.Reader()
+	for i := uint64(1); i <= 500; i++ {
+		w.Publish(i)
+	}
+	if v, ok := r.Poll(); !ok || v != 500 {
+		t.Fatalf("lagging reader got (%d,%v), want 500", v, ok)
+	}
+}
+
+func TestBroadcastConcurrentRace(t *testing.T) {
+	b := NewBroadcast(11)
+	w := b.Writer()
+	const n = 20000
+	var wg sync.WaitGroup
+	for k := 0; k < 3; k++ {
+		r := b.Reader()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for last < n {
+				if v, ok := r.Poll(); ok {
+					if v < last {
+						t.Errorf("value went backwards: %d after %d", v, last)
+						return
+					}
+					last = v
+				}
+			}
+		}()
+	}
+	for i := uint64(1); i <= n; i++ {
+		w.Publish(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Combiner is a real (non-simulated) flat-combining execution lock
+// with Pilot-encoded responses: goroutines submit closures; whichever
+// submitter grabs the combiner latch executes every pending request.
+// The response is delivered as a single Pilot word per client — the
+// encoded return value's change is the completion signal, so the
+// combiner publishes each result with one atomic store and no ordering
+// dance, and the waiter polls one cache line.
+//
+// Each client slot is single-goroutine: acquire a slot with Register
+// and use it from one goroutine at a time.
+type Combiner struct {
+	latch atomic.Uint32
+	_     [60]byte
+	slots []combinerSlot
+	next  atomic.Uint32
+	pool  []uint64
+	state *combinerState // owned by the latch holder
+}
+
+// combinerSlot is one client's publication record, padded so the
+// request and response words live on separate cache lines.
+type combinerSlot struct {
+	req  atomic.Uint64 // request sequence (odd = pending)
+	_    [56]byte
+	resp atomic.Uint64 // Pilot-encoded response word
+	fb   atomic.Uint64 // fallback flag
+	_    [48]byte
+	fn   func() uint64 // the critical section (combiner reads after req)
+}
+
+// Slot is a registered client handle.
+type Slot struct {
+	c   *Combiner
+	idx int
+	seq uint64
+	// Pilot client state.
+	oldResp uint64
+	oldFb   uint64
+	cnt     int
+	// Combiner-side mirrors, indexed via the owning Combiner; only the
+	// latch holder touches them.
+}
+
+// combinerState is the latch holder's view of every slot.
+type combinerState struct {
+	seenReq []uint64
+	oldResp []uint64
+	fb      []uint64
+	cnt     []int
+}
+
+// NewCombiner returns a combiner lock for up to n clients.
+func NewCombiner(n int, seed uint64) *Combiner {
+	c := &Combiner{
+		slots: make([]combinerSlot, n),
+		pool:  HashPool(seed),
+	}
+	c.state = &combinerState{
+		seenReq: make([]uint64, n),
+		oldResp: make([]uint64, n),
+		fb:      make([]uint64, n),
+		cnt:     make([]int, n),
+	}
+	return c
+}
+
+// Register claims a client slot; it panics when the combiner is full.
+func (c *Combiner) Register() *Slot {
+	idx := int(c.next.Add(1)) - 1
+	if idx >= len(c.slots) {
+		panic("core: combiner slots exhausted")
+	}
+	return &Slot{c: c, idx: idx}
+}
+
+// Do runs fn under the combiner lock and returns its result. fn runs
+// on some goroutine currently inside Do — possibly another client's —
+// so it must not rely on goroutine-local state.
+func (s *Slot) Do(fn func() uint64) uint64 {
+	c := s.c
+	slot := &c.slots[s.idx]
+	slot.fn = fn
+	s.seq += 2
+	slot.req.Store(s.seq | 1) // odd: pending
+
+	for spins := 0; ; spins++ {
+		if v, ok := s.tryRecv(); ok {
+			return v
+		}
+		if c.latch.Load() == 0 && c.latch.CompareAndSwap(0, 1) {
+			c.combine()
+			c.latch.Store(0)
+			if v, ok := s.tryRecv(); ok {
+				return v
+			}
+		}
+		if spins%spinYield == spinYield-1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// tryRecv polls the slot's Pilot response once.
+func (s *Slot) tryRecv() (uint64, bool) {
+	slot := &s.c.slots[s.idx]
+	if v := slot.resp.Load(); v != s.oldResp {
+		s.oldResp = v
+	} else if f := slot.fb.Load(); f != s.oldFb {
+		s.oldFb = f
+	} else {
+		return 0, false
+	}
+	h := s.c.pool[s.cnt%PoolSize]
+	s.cnt++
+	return s.oldResp ^ h, true
+}
+
+// combine serves every pending request (latch held).
+func (c *Combiner) combine() {
+	st := c.state
+	for i := range c.slots {
+		slot := &c.slots[i]
+		r := slot.req.Load()
+		if r&1 == 0 || r == st.seenReq[i] {
+			continue
+		}
+		st.seenReq[i] = r
+		raw := slot.fn()
+		h := c.pool[st.cnt[i]%PoolSize]
+		st.cnt[i]++
+		enc := raw ^ h
+		if enc == st.oldResp[i] {
+			st.fb[i] ^= 1
+			slot.fb.Store(st.fb[i])
+		} else {
+			slot.resp.Store(enc)
+			st.oldResp[i] = enc
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPoolDeterministicAndDistinct(t *testing.T) {
+	a := HashPool(7)
+	b := HashPool(7)
+	c := HashPool(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pool not deterministic at %d", i)
+		}
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("pools for different seeds too similar: %d collisions", same)
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatal("duplicate pool entry")
+		}
+		seen[v] = true
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	s, r := NewPair(1)
+	for i := 0; i < 1000; i++ {
+		want := uint64(i * 31)
+		s.Send(want)
+		if got := r.Recv(); got != want {
+			t.Fatalf("message %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWordFallbackCollision(t *testing.T) {
+	// Force the collision path: send payloads chosen so the shuffled
+	// word equals the previously stored word.
+	s, r := NewPair(3)
+	pool := HashPool(3)
+	first := uint64(42)
+	s.Send(first)
+	if got := r.Recv(); got != first {
+		t.Fatalf("got %d, want %d", got, first)
+	}
+	// The stored word is first ^ pool[0]. Craft message 1 so that
+	// payload ^ pool[1] == stored word.
+	stored := first ^ pool[0]
+	collide := stored ^ pool[1]
+	s.Send(collide)
+	if got := r.Recv(); got != collide {
+		t.Fatalf("fallback path: got %d, want %d", got, collide)
+	}
+	// And keep the channel usable afterwards.
+	for i := uint64(0); i < 100; i++ {
+		s.Send(i)
+		if got := r.Recv(); got != i {
+			t.Fatalf("post-fallback message %d: got %d", i, got)
+		}
+	}
+}
+
+func TestWordRepeatedEqualPayloads(t *testing.T) {
+	// Identical consecutive payloads must still be detected as distinct
+	// messages (the shuffle makes the words differ; if not, the flag
+	// does).
+	s, r := NewPair(5)
+	for i := 0; i < 200; i++ {
+		s.Send(7)
+		if got := r.Recv(); got != 7 {
+			t.Fatalf("message %d: got %d, want 7", i, got)
+		}
+	}
+}
+
+func TestWordPropertyNoLossNoDup(t *testing.T) {
+	// Property: any payload sequence arrives exactly once, in order.
+	f := func(msgs []uint64) bool {
+		s, r := NewPair(11)
+		for _, want := range msgs {
+			s.Send(want)
+			if r.Recv() != want {
+				return false
+			}
+			if _, ok := r.TryRecv(); ok {
+				return false // duplicate delivery
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordConcurrentRace(t *testing.T) {
+	// Real-concurrency exercise (run with -race): the sender paces
+	// itself on an ack channel for backpressure.
+	s, r := NewPair(13)
+	const n = 20000
+	ack := make(chan struct{}, 1)
+	ack <- struct{}{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			<-ack
+			s.Send(i * 2654435761)
+		}
+	}()
+	for i := uint64(0); i < n; i++ {
+		got := r.Recv()
+		if got != i*2654435761 {
+			t.Fatalf("message %d corrupted: %d", i, got)
+		}
+		ack <- struct{}{}
+	}
+	wg.Wait()
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		s, r := NewBatchPair(n, uint64(n))
+		msg := make([]uint64, n)
+		out := make([]uint64, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 300; i++ {
+			for j := range msg {
+				msg[j] = rng.Uint64()
+			}
+			s.Send(msg)
+			r.Recv(out)
+			for j := range msg {
+				if out[j] != msg[j] {
+					t.Fatalf("n=%d msg %d slice %d: got %d want %d", n, i, j, out[j], msg[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBatchCollisionSlices(t *testing.T) {
+	// Repeating the same message forces every slice through both the
+	// change and collision paths over time.
+	s, r := NewBatchPair(4, 9)
+	msg := []uint64{1, 2, 3, 4}
+	out := make([]uint64, 4)
+	for i := 0; i < 500; i++ {
+		s.Send(msg)
+		r.Recv(out)
+		for j := range msg {
+			if out[j] != msg[j] {
+				t.Fatalf("iteration %d slice %d: got %d want %d", i, j, out[j], msg[j])
+			}
+		}
+	}
+}
+
+func TestBatchConcurrentRace(t *testing.T) {
+	s, r := NewBatchPair(8, 21)
+	const n = 5000
+	ack := make(chan struct{}, 1)
+	ack <- struct{}{}
+	go func() {
+		msg := make([]uint64, 8)
+		for i := uint64(0); i < n; i++ {
+			<-ack
+			for j := range msg {
+				msg[j] = i + uint64(j)
+			}
+			s.Send(msg)
+		}
+	}()
+	out := make([]uint64, 8)
+	for i := uint64(0); i < n; i++ {
+		r.Recv(out)
+		for j := range out {
+			if out[j] != i+uint64(j) {
+				t.Fatalf("message %d slice %d: got %d", i, j, out[j])
+			}
+		}
+		ack <- struct{}{}
+	}
+}
+
+func TestRingFIFOAndBackpressure(t *testing.T) {
+	ring := NewRing(8, 17)
+	p := ring.Producer()
+	c := ring.Consumer()
+	// Fill to capacity.
+	for i := uint64(0); i < 8; i++ {
+		if !p.TrySend(i) {
+			t.Fatalf("send %d should fit", i)
+		}
+	}
+	if p.TrySend(99) {
+		t.Fatal("ninth send must fail (full ring)")
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := c.TryRecv()
+		if !ok || v != i {
+			t.Fatalf("recv %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("empty ring must not deliver")
+	}
+}
+
+func TestRingConcurrentRace(t *testing.T) {
+	ring := NewRing(16, 29)
+	p := ring.Producer()
+	c := ring.Consumer()
+	const n = 50000
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			p.Send(i ^ 0xABCD)
+		}
+	}()
+	for i := uint64(0); i < n; i++ {
+		if got := c.Recv(); got != i^0xABCD {
+			t.Fatalf("message %d corrupted: %d", i, got)
+		}
+	}
+}
+
+func TestRingPropertySequence(t *testing.T) {
+	f := func(vals []uint64, sizeExp uint8) bool {
+		size := 1 << (sizeExp%5 + 1) // 2..32
+		ring := NewRing(size, 31)
+		p := ring.Producer()
+		c := ring.Consumer()
+		for _, v := range vals {
+			p.Send(v)
+			if c.Recv() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSizeValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d) should panic", bad)
+				}
+			}()
+			NewRing(bad, 1)
+		}()
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"armbar/internal/core"
+)
+
+// ExampleNewPair shows the single-slot Pilot channel: one atomic store
+// publishes payload and readiness together, no barrier needed.
+func ExampleNewPair() {
+	s, r := core.NewPair(1)
+	s.Send(42)
+	fmt.Println(r.Recv())
+	s.Send(42) // identical payloads still arrive as distinct messages
+	fmt.Println(r.Recv())
+	// Output:
+	// 42
+	// 42
+}
+
+// ExampleNewRing shows the buffered SPSC form with built-in
+// backpressure.
+func ExampleNewRing() {
+	ring := core.NewRing(4, 7)
+	p := ring.Producer()
+	c := ring.Consumer()
+	for i := uint64(1); i <= 3; i++ {
+		p.Send(i * 10)
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Println(c.Recv())
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+// ExampleNewBatchPair shows multi-word messages: Pilot applies per
+// 8-byte slice, so the whole message still publishes barrier-free.
+func ExampleNewBatchPair() {
+	s, r := core.NewBatchPair(3, 5)
+	s.Send([]uint64{7, 8, 9})
+	out := make([]uint64, 3)
+	r.Recv(out)
+	fmt.Println(out)
+	// Output:
+	// [7 8 9]
+}

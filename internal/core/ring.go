@@ -1,0 +1,132 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Ring is a single-producer single-consumer ring buffer whose slots
+// are Pilot-encoded (§4.4): the store that fills a slot *is* the
+// availability signal, so the per-message publication barrier of
+// Algorithm 2 (line 5) and the consumer's matching load barrier
+// disappear. Only the capacity check keeps a shared counter, and the
+// ordering it needs is the cheap load-side one (line 3 of Algorithm 2,
+// shown by the paper to be non-critical).
+//
+// Each slot has its own Pilot word; the producer and consumer advance
+// through the slots in lockstep, so a slot is reused only after the
+// consumer published a new consCnt — that update is the backpressure
+// that makes the per-slot single-slot protocol safe.
+type Ring struct {
+	size    int
+	mask    int
+	slots   []Word
+	pool    []uint64
+	prodCnt atomic.Uint64
+	_       [56]byte
+	consCnt atomic.Uint64
+	_       [56]byte
+}
+
+// NewRing returns a Pilot ring with the given power-of-two capacity.
+func NewRing(size int, seed uint64) *Ring {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("core: ring size must be a positive power of two")
+	}
+	return &Ring{
+		size:  size,
+		mask:  size - 1,
+		slots: make([]Word, size),
+		pool:  HashPool(seed),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return r.size }
+
+// RingProducer is the sending half; single goroutine only.
+type RingProducer struct {
+	r       *Ring
+	cnt     uint64
+	oldData []uint64
+	flags   []uint64
+}
+
+// RingConsumer is the receiving half; single goroutine only.
+type RingConsumer struct {
+	r        *Ring
+	cnt      uint64
+	oldData  []uint64
+	oldFlags []uint64
+}
+
+// Producer returns the producing half of the ring.
+func (r *Ring) Producer() *RingProducer {
+	return &RingProducer{r: r, oldData: make([]uint64, r.size), flags: make([]uint64, r.size)}
+}
+
+// Consumer returns the consuming half of the ring.
+func (r *Ring) Consumer() *RingConsumer {
+	return &RingConsumer{r: r, oldData: make([]uint64, r.size), oldFlags: make([]uint64, r.size)}
+}
+
+// TrySend enqueues one payload; it fails when the ring is full.
+func (p *RingProducer) TrySend(payload uint64) bool {
+	r := p.r
+	if p.cnt-r.consCnt.Load() >= uint64(r.size) {
+		return false
+	}
+	i := int(p.cnt) & r.mask
+	newData := payload ^ r.pool[p.cnt%PoolSize]
+	if newData == p.oldData[i] {
+		p.flags[i] ^= 1
+		r.slots[i].flag.Store(p.flags[i])
+	} else {
+		r.slots[i].data.Store(newData)
+		p.oldData[i] = newData
+	}
+	p.cnt++
+	r.prodCnt.Store(p.cnt)
+	return true
+}
+
+// Send enqueues one payload, spinning while the ring is full.
+func (p *RingProducer) Send(payload uint64) {
+	for spins := 0; !p.TrySend(payload); spins++ {
+		if spins%spinYield == spinYield-1 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryRecv dequeues one payload; it fails when the ring is empty. The
+// availability check is the slot's Pilot change itself — prodCnt is
+// never read on this path, which is the second half of Pilot's win
+// (fewer touched cache lines).
+func (c *RingConsumer) TryRecv() (uint64, bool) {
+	r := c.r
+	i := int(c.cnt) & r.mask
+	if d := r.slots[i].data.Load(); d != c.oldData[i] {
+		c.oldData[i] = d
+	} else if f := r.slots[i].flag.Load(); f != c.oldFlags[i] {
+		c.oldFlags[i] = f
+	} else {
+		return 0, false
+	}
+	v := c.oldData[i] ^ r.pool[c.cnt%PoolSize]
+	c.cnt++
+	r.consCnt.Store(c.cnt)
+	return v, true
+}
+
+// Recv dequeues one payload, spinning while the ring is empty.
+func (c *RingConsumer) Recv() uint64 {
+	for spins := 0; ; spins++ {
+		if v, ok := c.TryRecv(); ok {
+			return v
+		}
+		if spins%spinYield == spinYield-1 {
+			runtime.Gosched()
+		}
+	}
+}

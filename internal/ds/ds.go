@@ -1,0 +1,229 @@
+// Package ds implements the paper's data-structure benchmarks (§5.4,
+// Figure 8a-c): a queue, a stack, a sorted linked list and a hash
+// table, each protected by one of the locks from package locks, with
+// the workloads the paper describes (insert one, remove one, after
+// every ten queries for the list/table; plain insert+remove pairs for
+// the queue and stack).
+//
+// The structures live in simulated memory: every node is a cache line,
+// so traversals and mutations produce the coherence traffic a real
+// implementation would.
+package ds
+
+import (
+	"armbar/internal/sim"
+)
+
+// list is a sorted singly-linked intrusive list in simulated memory.
+// Node layout: +0 key, +8 next (address, 0 = nil). A free-list reuses
+// nodes since the simulator has no deallocation.
+type list struct {
+	head uint64 // sentinel node with key 0 (addresses are the "keys")
+	free uint64 // free-list head (chained through +8); lock-protected
+}
+
+// newList allocates the sentinel and a pool of nodes, preloading the
+// given keys (strictly increasing recommended).
+func newList(m *sim.Machine, pool int, preload []uint64) *list {
+	l := &list{head: m.Alloc(1)}
+	m.SetInitial(l.head+0, 0)
+	m.SetInitial(l.head+8, 0)
+	// Preload sorted keys directly into committed memory.
+	prev := l.head
+	for _, k := range preload {
+		n := m.Alloc(1)
+		m.SetInitial(n+0, k)
+		m.SetInitial(n+8, 0)
+		m.SetInitial(prev+8, n)
+		prev = n
+	}
+	for i := 0; i < pool; i++ {
+		n := m.Alloc(1)
+		m.SetInitial(n+8, l.free)
+		l.free = n
+	}
+	return l
+}
+
+// alloc pops a node from the free list (caller holds the lock).
+func (l *list) alloc(t *sim.Thread) uint64 {
+	n := l.free
+	if n == 0 {
+		panic("ds: node pool exhausted")
+	}
+	l.free = t.Load(n + 8)
+	return n
+}
+
+// release pushes a node back (caller holds the lock).
+func (l *list) release(t *sim.Thread, n uint64) {
+	t.Store(n+8, l.free)
+	l.free = n
+}
+
+// insert adds key in sorted position; returns false if present.
+func (l *list) insert(t *sim.Thread, key uint64) bool {
+	prev := l.head
+	cur := t.Load(prev + 8)
+	for cur != 0 {
+		k := t.Load(cur + 0)
+		if k == key {
+			return false
+		}
+		if k > key {
+			break
+		}
+		prev, cur = cur, t.Load(cur+8)
+	}
+	n := l.alloc(t)
+	t.Store(n+0, key)
+	t.Store(n+8, cur)
+	t.Store(prev+8, n)
+	return true
+}
+
+// remove deletes key; returns false if absent.
+func (l *list) remove(t *sim.Thread, key uint64) bool {
+	prev := l.head
+	cur := t.Load(prev + 8)
+	for cur != 0 {
+		k := t.Load(cur + 0)
+		if k == key {
+			t.Store(prev+8, t.Load(cur+8))
+			l.release(t, cur)
+			return true
+		}
+		if k > key {
+			return false
+		}
+		prev, cur = cur, t.Load(cur+8)
+	}
+	return false
+}
+
+// contains searches for key.
+func (l *list) contains(t *sim.Thread, key uint64) bool {
+	cur := t.Load(l.head + 8)
+	for cur != 0 {
+		k := t.Load(cur + 0)
+		if k == key {
+			return true
+		}
+		if k > key {
+			return false
+		}
+		cur = t.Load(cur + 8)
+	}
+	return false
+}
+
+// length walks the list (used by tests on the final committed state).
+func listLen(m *sim.Machine, head uint64) int {
+	n := 0
+	for cur := m.Directory().Committed(head + 8); cur != 0; cur = m.Directory().Committed(cur + 8) {
+		n++
+	}
+	return n
+}
+
+// queue is a linked FIFO queue: head/tail words on one line each,
+// nodes one line each, with a free list.
+type queue struct {
+	meta uint64 // +0 head, +8 tail (both node addresses; 0 = empty)
+	free uint64
+}
+
+func newQueue(m *sim.Machine, pool int) *queue {
+	q := &queue{meta: m.Alloc(1)}
+	for i := 0; i < pool; i++ {
+		n := m.Alloc(1)
+		m.SetInitial(n+8, q.free)
+		q.free = n
+	}
+	return q
+}
+
+func (q *queue) alloc(t *sim.Thread) uint64 {
+	n := q.free
+	if n == 0 {
+		panic("ds: queue pool exhausted")
+	}
+	// Free-list links live in committed memory only at init; after that
+	// the lock holder maintains them through plain loads/stores.
+	q.free = t.Load(n + 8)
+	return n
+}
+
+func (q *queue) release(t *sim.Thread, n uint64) {
+	t.Store(n+8, q.free)
+	q.free = n
+}
+
+// enqueue appends value (caller holds the lock).
+func (q *queue) enqueue(t *sim.Thread, v uint64) {
+	n := q.alloc(t)
+	t.Store(n+0, v)
+	t.Store(n+8, 0)
+	tail := t.Load(q.meta + 8)
+	if tail == 0 {
+		t.Store(q.meta+0, n)
+	} else {
+		t.Store(tail+8, n)
+	}
+	t.Store(q.meta+8, n)
+}
+
+// dequeue removes the oldest value; ok reports emptiness.
+func (q *queue) dequeue(t *sim.Thread) (uint64, bool) {
+	head := t.Load(q.meta + 0)
+	if head == 0 {
+		return 0, false
+	}
+	v := t.Load(head + 0)
+	next := t.Load(head + 8)
+	t.Store(q.meta+0, next)
+	if next == 0 {
+		t.Store(q.meta+8, 0)
+	}
+	q.release(t, head)
+	return v, true
+}
+
+// stack is a linked LIFO stack: top word plus a free list.
+type stack struct {
+	top  uint64 // line holding the top pointer at +0
+	free uint64
+}
+
+func newStack(m *sim.Machine, pool int) *stack {
+	s := &stack{top: m.Alloc(1)}
+	for i := 0; i < pool; i++ {
+		n := m.Alloc(1)
+		m.SetInitial(n+8, s.free)
+		s.free = n
+	}
+	return s
+}
+
+func (s *stack) push(t *sim.Thread, v uint64) {
+	n := s.free
+	if n == 0 {
+		panic("ds: stack pool exhausted")
+	}
+	s.free = t.Load(n + 8)
+	t.Store(n+0, v)
+	t.Store(n+8, t.Load(s.top+0))
+	t.Store(s.top+0, n)
+}
+
+func (s *stack) pop(t *sim.Thread) (uint64, bool) {
+	n := t.Load(s.top + 0)
+	if n == 0 {
+		return 0, false
+	}
+	v := t.Load(n + 0)
+	t.Store(s.top+0, t.Load(n+8))
+	t.Store(n+8, s.free)
+	s.free = n
+	return v, true
+}

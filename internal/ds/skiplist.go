@@ -1,0 +1,142 @@
+package ds
+
+import (
+	"armbar/internal/sim"
+)
+
+// skiplist is a deterministic skip list in simulated memory, the
+// fourth structure of the synchrobench family the paper's benchmarks
+// draw from. Each node occupies one cache line:
+//
+//	+0  key
+//	+8  height (1..maxLevel)
+//	+16 next[0]
+//	+24 next[1]
+//	+32 next[2]
+//	+40 next[3]
+//
+// maxLevel is 4 so a node always fits one line; heights come from a
+// deterministic xorshift so runs are reproducible.
+type skiplist struct {
+	head uint64 // sentinel with height maxLevel
+	free uint64
+	rng  uint64
+}
+
+const slMaxLevel = 4
+
+func slNext(node uint64, lvl int) uint64 { return node + 16 + uint64(lvl)*8 }
+
+// newSkiplist allocates the sentinel, a node pool, and preloads keys.
+func newSkiplist(m *sim.Machine, pool int, preload []uint64) *skiplist {
+	s := &skiplist{head: m.Alloc(1), rng: 0x9E3779B97F4A7C15}
+	m.SetInitial(s.head+8, slMaxLevel)
+	// Preload directly into committed memory, keys ascending.
+	update := [slMaxLevel]uint64{}
+	for l := 0; l < slMaxLevel; l++ {
+		update[l] = s.head
+	}
+	for _, k := range preload {
+		n := m.Alloc(1)
+		h := s.height()
+		m.SetInitial(n+0, k)
+		m.SetInitial(n+8, uint64(h))
+		for l := 0; l < h; l++ {
+			m.SetInitial(n+16+uint64(l)*8, 0)
+			m.SetInitial(slNext(update[l], l), n)
+			update[l] = n
+		}
+	}
+	for i := 0; i < pool; i++ {
+		n := m.Alloc(1)
+		m.SetInitial(slNext(n, 0), s.free)
+		s.free = n
+	}
+	return s
+}
+
+// height draws a deterministic geometric level in [1, slMaxLevel].
+func (s *skiplist) height() int {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	h := 1
+	for v := s.rng; v&1 == 1 && h < slMaxLevel; v >>= 1 {
+		h++
+	}
+	return h
+}
+
+// findPredecessors walks the list (caller holds the lock) and fills
+// update with the last node below key per level.
+func (s *skiplist) findPredecessors(t *sim.Thread, key uint64, update *[slMaxLevel]uint64) uint64 {
+	cur := s.head
+	for l := slMaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := t.Load(slNext(cur, l))
+			if nxt == 0 || t.Load(nxt+0) >= key {
+				break
+			}
+			cur = nxt
+		}
+		update[l] = cur
+	}
+	return t.Load(slNext(update[0], 0))
+}
+
+// contains searches for key.
+func (s *skiplist) contains(t *sim.Thread, key uint64) bool {
+	var update [slMaxLevel]uint64
+	n := s.findPredecessors(t, key, &update)
+	return n != 0 && t.Load(n+0) == key
+}
+
+// insert adds key; returns false when already present.
+func (s *skiplist) insert(t *sim.Thread, key uint64) bool {
+	var update [slMaxLevel]uint64
+	n := s.findPredecessors(t, key, &update)
+	if n != 0 && t.Load(n+0) == key {
+		return false
+	}
+	node := s.free
+	if node == 0 {
+		panic("ds: skiplist pool exhausted")
+	}
+	s.free = t.Load(slNext(node, 0))
+	h := s.height()
+	t.Store(node+0, key)
+	t.Store(node+8, uint64(h))
+	for l := 0; l < h; l++ {
+		t.Store(slNext(node, l), t.Load(slNext(update[l], l)))
+		t.Store(slNext(update[l], l), node)
+	}
+	return true
+}
+
+// remove deletes key; returns false when absent.
+func (s *skiplist) remove(t *sim.Thread, key uint64) bool {
+	var update [slMaxLevel]uint64
+	n := s.findPredecessors(t, key, &update)
+	if n == 0 || t.Load(n+0) != key {
+		return false
+	}
+	h := int(t.Load(n + 8))
+	for l := 0; l < h; l++ {
+		if t.Load(slNext(update[l], l)) == n {
+			t.Store(slNext(update[l], l), t.Load(slNext(n, l)))
+		}
+	}
+	t.Store(slNext(n, 0), s.free)
+	s.free = n
+	return true
+}
+
+// slLen counts level-0 nodes in committed memory (post-run check).
+func slLen(m *sim.Machine, head uint64) int {
+	n := 0
+	for cur := m.Directory().Committed(slNext(head, 0)); cur != 0; {
+		n++
+		cur = m.Directory().Committed(slNext(cur, 0))
+	}
+	return n
+}

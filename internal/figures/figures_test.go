@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"strconv"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func TestTablesNonEmpty(t *testing.T) {
+	cases := map[string]int{}
+	one := func(name string, rows int) {
+		cases[name] = rows
+	}
+	one("table1", Table1(quick).Rows())
+	one("table2", Table2(quick).Rows())
+	one("table3", Table3(quick).Rows())
+	one("fig4", Fig4(quick).Rows())
+	for name, rows := range cases {
+		if rows == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestFig2PerPlatform(t *testing.T) {
+	ts := Fig2(quick)
+	if len(ts) != 4 {
+		t.Fatalf("Fig2 should emit 4 platform tables, got %d", len(ts))
+	}
+	for _, tb := range ts {
+		if tb.Rows() != 8 {
+			t.Errorf("%s: %d rows, want 8 barrier variants", tb.Title, tb.Rows())
+		}
+	}
+}
+
+func TestFig3Subfigures(t *testing.T) {
+	ts := Fig3(quick)
+	if len(ts) != 5 {
+		t.Fatalf("Fig3 should emit 5 subfigures, got %d", len(ts))
+	}
+	for _, tb := range ts {
+		if tb.Rows() != 10 {
+			t.Errorf("%s: %d rows, want 10 legend entries", tb.Title, tb.Rows())
+		}
+	}
+}
+
+func TestFig6aNormalizedBaseline(t *testing.T) {
+	tb := Fig6a(quick)
+	if tb.Rows() != 5 {
+		t.Fatalf("Fig6a rows = %d, want 5 bindings", tb.Rows())
+	}
+	for r := 0; r < tb.Rows(); r++ {
+		v, err := strconv.ParseFloat(tb.Cell(r, 1), 64)
+		if err != nil || v != 1 {
+			t.Errorf("row %d baseline = %q, want 1", r, tb.Cell(r, 1))
+		}
+	}
+}
+
+func TestFig7cFiveLocks(t *testing.T) {
+	tb := Fig7c(quick)
+	if tb.Rows() != 5 {
+		t.Fatalf("Fig7c rows = %d, want 5 lock variants", tb.Rows())
+	}
+}
+
+func TestFig8dValidity(t *testing.T) {
+	tb := Fig8d(quick)
+	for r := 0; r < tb.Rows(); r++ {
+		if tb.Cell(r, 4) != "true" {
+			t.Errorf("floorplan row %d did not find the optimum", r)
+		}
+	}
+}
+
+func TestExtensionTables(t *testing.T) {
+	ip := InPlaceLocks(quick)
+	if ip.Rows() != 8 {
+		t.Errorf("InPlaceLocks rows = %d, want 8 lock variants", ip.Rows())
+	}
+	mp := MPMCFanIn(quick)
+	if mp.Rows() != 3 {
+		t.Errorf("MPMCFanIn quick rows = %d, want 3 producer counts", mp.Rows())
+	}
+	// The headline shape: Pilot fan-in beats the locked ring at the
+	// largest fan-in.
+	last := mp.Rows() - 1
+	lr, err1 := strconv.ParseFloat(mp.Cell(last, 1), 64)
+	pf, err2 := strconv.ParseFloat(mp.Cell(last, 2), 64)
+	if err1 != nil || err2 != nil || pf <= lr {
+		t.Errorf("fan-in: pilot (%v) should beat locked ring (%v)", pf, lr)
+	}
+}

@@ -1,0 +1,71 @@
+package floorplan
+
+import (
+	"testing"
+
+	"armbar/internal/locks"
+	"armbar/internal/platform"
+)
+
+func smallInput() Input {
+	ins := Inputs()
+	return ins[0]
+}
+
+func TestReferenceDeterministicAndBounded(t *testing.T) {
+	in := smallInput()
+	a, b := Reference(in), Reference(in)
+	if a != b {
+		t.Fatalf("reference not deterministic: %d vs %d", a, b)
+	}
+	if a <= 0 || a >= 1<<29 {
+		t.Fatalf("implausible optimum %d", a)
+	}
+	// The optimum can never beat the total-area lower bound.
+	area := 0
+	for _, c := range in.Cells {
+		area += c.W * c.H
+	}
+	if a*in.Strip < area {
+		t.Fatalf("optimum %d below area bound %d/%d", a, area, in.Strip)
+	}
+}
+
+func TestParallelFindsOptimum(t *testing.T) {
+	for _, k := range []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot} {
+		r := Run(Config{Plat: platform.Kunpeng916(), Kind: k, In: smallInput(),
+			Threads: 8, Seed: 3})
+		if !r.Valid {
+			t.Errorf("%v: found %d, want the sequential optimum", k, r.Best)
+		}
+		if r.Nodes == 0 {
+			t.Errorf("%v: no nodes expanded", k)
+		}
+	}
+}
+
+func TestFig8dPilotGainIsSmall(t *testing.T) {
+	// Figure 8d: the lock is not the bottleneck, so Pilot's effect is a
+	// few percent at most, in either direction within noise.
+	in := smallInput()
+	ds := Run(Config{Plat: platform.Kunpeng916(), Kind: locks.DSMSynch, In: in,
+		Threads: 8, Seed: 5})
+	dsp := Run(Config{Plat: platform.Kunpeng916(), Kind: locks.DSMSynchPilot, In: in,
+		Threads: 8, Seed: 5})
+	ratio := ds.Cycles / dsp.Cycles // >1 means Pilot is faster
+	if ratio < 0.90 || ratio > 1.25 {
+		t.Errorf("Pilot effect should be small on floorplan: speedup %.3fx", ratio)
+	}
+	if !ds.Valid || !dsp.Valid {
+		t.Error("both variants must find the optimum")
+	}
+}
+
+func TestInputsGrow(t *testing.T) {
+	ins := Inputs()
+	for i := 1; i < len(ins); i++ {
+		if len(ins[i].Cells) <= len(ins[i-1].Cells) {
+			t.Errorf("input %s should be larger than %s", ins[i].Name, ins[i-1].Name)
+		}
+	}
+}

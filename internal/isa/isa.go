@@ -1,0 +1,225 @@
+// Package isa defines the order-preserving vocabulary of the ARMv8-A
+// weakly-ordered memory model as studied by the paper: barrier
+// instructions (DMB, DSB, ISB, LDAR, STLR), their access-type options,
+// and dependency-based ordering (data / address / control, and
+// control+ISB).
+//
+// The package is pure data: it knows what each approach *orders*, and
+// which approaches require the bus (an ACE barrier transaction) on a
+// typical implementation. The simulator (package sim) attaches costs.
+package isa
+
+import "fmt"
+
+// Barrier enumerates every order-preserving approach covered by the study.
+// The zero value None means "no ordering" and is a valid choice wherever a
+// Barrier is accepted.
+type Barrier int
+
+const (
+	// None inserts nothing; memory operations may be freely reordered.
+	None Barrier = iota
+	// DMBFull is "dmb ish": orders any memory access against any later one.
+	DMBFull
+	// DMBSt is "dmb ishst": orders stores against later stores.
+	DMBSt
+	// DMBLd is "dmb ishld": orders loads against later loads and stores.
+	DMBLd
+	// DSBFull is "dsb ish": DMBFull plus blocking of *all* later
+	// instructions until completion is observable in the domain.
+	DSBFull
+	// DSBSt is "dsb ishst".
+	DSBSt
+	// DSBLd is "dsb ishld".
+	DSBLd
+	// ISB flushes the pipeline; it orders instruction execution, not
+	// memory accesses, and is used in the CTRL+ISB idiom.
+	ISB
+	// LDAR is the load-acquire one-way barrier: later accesses cannot
+	// move before the acquiring load.
+	LDAR
+	// STLR is the store-release one-way barrier: earlier accesses are
+	// observable before the releasing store.
+	STLR
+	// DataDep is a (possibly bogus) data dependency: the stored value
+	// depends on a previously loaded value. Orders load->store.
+	DataDep
+	// AddrDep is a (possibly bogus) address dependency: the accessed
+	// address depends on a previously loaded value. Orders load->load/store.
+	AddrDep
+	// CtrlDep is a control dependency: the loaded value decides a branch
+	// guarding the later access. Orders load->store only.
+	CtrlDep
+	// CtrlISB is a control dependency followed by an ISB, the idiom that
+	// extends control-dependency ordering to load->load.
+	CtrlISB
+	// LDAPR is the ARMv8.3 RCpc load-acquire (the Table-3 footnote):
+	// like LDAR it orders later accesses after the load, but it does
+	// not order against an earlier STLR, which lets the core keep more
+	// requests in flight.
+	LDAPR
+
+	numBarriers
+)
+
+var barrierNames = [...]string{
+	None:    "No Barrier",
+	DMBFull: "DMB full",
+	DMBSt:   "DMB st",
+	DMBLd:   "DMB ld",
+	DSBFull: "DSB full",
+	DSBSt:   "DSB st",
+	DSBLd:   "DSB ld",
+	ISB:     "ISB",
+	LDAR:    "LDAR",
+	STLR:    "STLR",
+	DataDep: "DATA DEP",
+	AddrDep: "ADDR DEP",
+	CtrlDep: "CTRL",
+	CtrlISB: "CTRL+ISB",
+	LDAPR:   "LDAPR",
+}
+
+func (b Barrier) String() string {
+	if b < 0 || b >= numBarriers {
+		return fmt.Sprintf("Barrier(%d)", int(b))
+	}
+	return barrierNames[b]
+}
+
+// All returns every Barrier value including None, in declaration order.
+func All() []Barrier {
+	out := make([]Barrier, numBarriers)
+	for i := range out {
+		out[i] = Barrier(i)
+	}
+	return out
+}
+
+// Instructions returns the barrier *instructions* (excluding None and the
+// dependency idioms), the set swept by the paper's Figure 2.
+func Instructions() []Barrier {
+	return []Barrier{DMBFull, DMBSt, DMBLd, DSBFull, DSBSt, DSBLd, ISB, LDAR, STLR}
+}
+
+// Dependencies returns the dependency-based approaches.
+func Dependencies() []Barrier { return []Barrier{DataDep, AddrDep, CtrlDep, CtrlISB} }
+
+// IsDependency reports whether b is a dependency idiom rather than a
+// barrier instruction.
+func (b Barrier) IsDependency() bool {
+	switch b {
+	case DataDep, AddrDep, CtrlDep, CtrlISB:
+		return true
+	}
+	return false
+}
+
+// RequiresBus reports whether a typical implementation must send an ACE
+// barrier transaction to the interconnect for this approach. Per the
+// paper (§2.3, Obs 6), DMB ld and LDAR are resolved core-locally because
+// the core knows when its loads have finished, and dependency idioms
+// never touch the bus; everything else (full/st DMB, all DSB, STLR) is
+// likely to involve the bus.
+func (b Barrier) RequiresBus() bool {
+	switch b {
+	case DMBFull, DMBSt, DSBFull, DSBSt, DSBLd, STLR:
+		return true
+	}
+	return false
+}
+
+// BlocksAllInstructions reports whether the approach stalls every later
+// instruction (not just memory accesses) until it completes. Only DSB
+// has this property; ISB stalls via a pipeline flush which we model as a
+// fixed cost instead.
+func (b Barrier) BlocksAllInstructions() bool {
+	switch b {
+	case DSBFull, DSBSt, DSBLd:
+		return true
+	}
+	return false
+}
+
+// Access classifies the memory-access direction an ordering must protect.
+type Access int
+
+const (
+	// Load is a single load (or the first access being ordered is a load).
+	Load Access = iota
+	// Store is a single store.
+	Store
+	// Loads means "one or more loads".
+	Loads
+	// Stores means "one or more stores".
+	Stores
+	// Any means loads and stores mixed.
+	Any
+)
+
+func (a Access) String() string {
+	switch a {
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case Loads:
+		return "Loads"
+	case Stores:
+		return "Stores"
+	case Any:
+		return "Any"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// Orders reports whether barrier b preserves program order between an
+// earlier access of kind from and a later access of kind to. This is the
+// architectural guarantee, independent of cost.
+func (b Barrier) Orders(from, to Access) bool {
+	fl, fs := involves(from)
+	tl, ts := involves(to)
+	switch b {
+	case None:
+		return false
+	case DMBFull, DSBFull:
+		return true
+	case DMBSt, DSBSt:
+		// store->store only.
+		return !fl && !tl && fs && ts
+	case DMBLd, DSBLd, LDAR, LDAPR:
+		// load -> anything later.
+		return !fs && fl
+	case ISB:
+		return false
+	case STLR:
+		// Everything before is observable before the releasing store;
+		// as a pairwise ordering tool it orders any -> the store it tags.
+		return ts && !tl
+	case DataDep:
+		// loaded value feeds the stored value: load -> store.
+		return fl && !fs && ts && !tl
+	case AddrDep:
+		// loaded value feeds the address: load -> load/store.
+		return fl && !fs
+	case CtrlDep:
+		// control dependency orders load -> store but NOT load -> load.
+		return fl && !fs && ts && !tl
+	case CtrlISB:
+		return fl && !fs
+	}
+	return false
+}
+
+func involves(a Access) (loads, stores bool) {
+	switch a {
+	case Load, Loads:
+		return true, false
+	case Store, Stores:
+		return false, true
+	case Any:
+		return true, true
+	}
+	return false, false
+}

@@ -1,0 +1,131 @@
+package isa
+
+import "testing"
+
+func TestNames(t *testing.T) {
+	cases := map[Barrier]string{
+		None:    "No Barrier",
+		DMBFull: "DMB full",
+		DMBSt:   "DMB st",
+		DMBLd:   "DMB ld",
+		DSBFull: "DSB full",
+		LDAR:    "LDAR",
+		STLR:    "STLR",
+		DataDep: "DATA DEP",
+		AddrDep: "ADDR DEP",
+		CtrlDep: "CTRL",
+		CtrlISB: "CTRL+ISB",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+}
+
+func TestBusInvolvement(t *testing.T) {
+	// §2.3 / Obs 6: DMB ld, LDAR and all dependencies are resolved
+	// core-locally; DMB full/st, DSB and STLR involve the bus.
+	wantBus := map[Barrier]bool{
+		DMBFull: true, DMBSt: true, DSBFull: true, DSBSt: true, DSBLd: true, STLR: true,
+		DMBLd: false, LDAR: false, ISB: false,
+		DataDep: false, AddrDep: false, CtrlDep: false, CtrlISB: false, None: false,
+	}
+	for b, want := range wantBus {
+		if b.RequiresBus() != want {
+			t.Errorf("%v.RequiresBus() = %v, want %v", b, b.RequiresBus(), want)
+		}
+	}
+}
+
+func TestBlocksAllInstructions(t *testing.T) {
+	for _, b := range All() {
+		want := b == DSBFull || b == DSBSt || b == DSBLd
+		if b.BlocksAllInstructions() != want {
+			t.Errorf("%v.BlocksAllInstructions() = %v, want %v", b, b.BlocksAllInstructions(), want)
+		}
+	}
+}
+
+func TestOrdersSemantics(t *testing.T) {
+	cases := []struct {
+		b        Barrier
+		from, to Access
+		want     bool
+	}{
+		{DMBFull, Store, Store, true},
+		{DMBFull, Load, Store, true},
+		{DMBSt, Store, Store, true},
+		{DMBSt, Load, Store, false},
+		{DMBSt, Store, Load, false},
+		{DMBLd, Load, Store, true},
+		{DMBLd, Load, Load, true},
+		{DMBLd, Store, Store, false},
+		{LDAR, Load, Any, true},
+		{DataDep, Load, Store, true},
+		{DataDep, Load, Load, false},
+		{AddrDep, Load, Load, true},
+		{AddrDep, Load, Store, true},
+		{AddrDep, Store, Store, false},
+		{CtrlDep, Load, Store, true},
+		{CtrlDep, Load, Load, false}, // the §2.2 caveat: CTRL alone cannot order load->load
+		{CtrlISB, Load, Load, true},
+		{None, Store, Store, false},
+		{ISB, Load, Load, false},
+	}
+	for _, c := range cases {
+		if got := c.b.Orders(c.from, c.to); got != c.want {
+			t.Errorf("%v.Orders(%v,%v) = %v, want %v", c.b, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestSuggestMatchesPaperTable3(t *testing.T) {
+	// Store->store(s): DMB st; everything store-started or mixed:
+	// DMB full; load-started: dependencies first.
+	if got := Best(Store, Stores); got != DMBSt {
+		t.Errorf("Best(Store,Stores) = %v, want DMB st", got)
+	}
+	if got := Best(Store, Load); got != DMBFull {
+		t.Errorf("Best(Store,Load) = %v, want DMB full", got)
+	}
+	if got := Best(Any, Any); got != DMBFull {
+		t.Errorf("Best(Any,Any) = %v, want DMB full", got)
+	}
+	if got := Best(Load, Loads); got != AddrDep {
+		t.Errorf("Best(Load,Loads) = %v, want ADDR DEP", got)
+	}
+	s := Suggest(Load, Store)
+	found := map[Barrier]bool{}
+	for _, b := range s.Preferred {
+		found[b] = true
+	}
+	for _, want := range []Barrier{AddrDep, DataDep, CtrlDep, LDAR, DMBLd} {
+		if !found[want] {
+			t.Errorf("Suggest(Load,Store) missing %v", want)
+		}
+	}
+}
+
+func TestSuggestionsAllOrderCorrectly(t *testing.T) {
+	// Every suggested approach must architecturally order its cell,
+	// except the dependency idioms on multi-access cells where the
+	// paper's footnote 1 applies (we still require the barrier options
+	// to order).
+	for _, s := range Table3() {
+		for _, b := range s.Preferred {
+			if b.IsDependency() {
+				continue
+			}
+			if !b.Orders(s.From, s.To) {
+				t.Errorf("suggested %v does not order %v -> %v", b, s.From, s.To)
+			}
+		}
+	}
+}
+
+func TestTable3Complete(t *testing.T) {
+	if got := len(Table3()); got != 25 {
+		t.Errorf("Table3 has %d cells, want 25", got)
+	}
+}

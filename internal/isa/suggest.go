@@ -1,0 +1,72 @@
+package isa
+
+// Suggestion is one cell of the paper's Table 3: which order-preserving
+// approaches to use to order an earlier access (From) against a later
+// access (To), cheapest first.
+type Suggestion struct {
+	From, To Access
+	// Preferred lists the recommended approaches in cost order. For
+	// load-started orderings the dependencies come first (no bus, no
+	// harm to parallelism), then the weak barriers.
+	Preferred []Barrier
+	// Note carries the paper's caveat for this cell, if any.
+	Note string
+}
+
+// stlrNote mirrors the paper's footnote 2 to Table 3.
+const stlrNote = "STLR can be used here; compare against DMB full first (Obs 3)."
+
+// Suggest returns the Table-3 recommendation for ordering an earlier
+// access of kind from against a later access of kind to.
+//
+// The matrix follows the paper exactly:
+//   - load -> anything: bogus address dependency, else LDAR / DMB ld;
+//     load -> single store additionally admits data/control dependencies.
+//   - store -> store(s): DMB st.
+//   - store -> load or any mixed case: DMB full (STLR usable for
+//     store->store-like release publication, after measuring).
+func Suggest(from, to Access) Suggestion {
+	s := Suggestion{From: from, To: to}
+	fl, fs := involves(from)
+	_, ts := involves(to)
+	tl, _ := involves(to)
+	switch {
+	case fl && !fs && ts && !tl && (to == Store):
+		// Load -> single store: every dependency kind applies.
+		s.Preferred = []Barrier{AddrDep, DataDep, CtrlDep, LDAR, DMBLd}
+	case fl && !fs:
+		// Load -> load(s)/any: address dependency or the weak barriers.
+		s.Preferred = []Barrier{AddrDep, LDAR, DMBLd}
+		if tl {
+			s.Note = "CTRL alone cannot order load->load; use CTRL+ISB or the above."
+		}
+	case fs && !fl && ts && !tl:
+		// Store -> store(s).
+		s.Preferred = []Barrier{DMBSt}
+	default:
+		// Store -> load(s), or any mixed combination.
+		s.Preferred = []Barrier{DMBFull}
+		if fs && !fl && to == Any {
+			s.Note = stlrNote
+		}
+	}
+	return s
+}
+
+// Best returns the single cheapest recommended approach for the pair.
+func Best(from, to Access) Barrier { return Suggest(from, to).Preferred[0] }
+
+// Table3 returns the full suggestion matrix in the paper's row/column
+// order: rows From ∈ {Load, Loads, Store, Stores, Any}, columns
+// To ∈ {Load, Loads, Store, Stores, Any}.
+func Table3() []Suggestion {
+	froms := []Access{Load, Loads, Store, Stores, Any}
+	tos := []Access{Load, Loads, Store, Stores, Any}
+	var out []Suggestion
+	for _, f := range froms {
+		for _, t := range tos {
+			out = append(out, Suggest(f, t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package litmus
+
+import (
+	"fmt"
+
+	"armbar/internal/isa"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// STest is the classic S shape: T0 stores x=2 then (ordered) y=1;
+// T1 reads y and, dependent on it, stores x=1. The forbidden-under-SC
+// outcome is "T1 read y=1 yet x finishes 2": T1's store was ordered
+// after its read of y, which was after T0's store of x=2... so x=1
+// must land last. Both orderings supplied => outcome forbidden.
+func STest(t0Order, t1Order isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("S(%v,%v)", t0Order, t1Order),
+		Cores: []topo.CoreID{0, 32},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x, y := addr[0], addr[1]
+			if i == 0 {
+				t.Store(x, 2)
+				t.Barrier(t0Order)
+				t.Store(y, 1)
+				return nil
+			}
+			r := t.Load(y)
+			t.Barrier(t1Order)
+			if r == 1 {
+				t.Store(x, 1)
+			}
+			return []uint64{r}
+		},
+		FormatFinal: func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
+			return Outcome(fmt.Sprintf("r=%d x=%d", regs[1][0], final(addr[0])))
+		},
+	}
+}
+
+// TwoPlusTwoW is the 2+2W shape: both threads store to both locations
+// in opposite orders (each pair ordered). The forbidden outcome is
+// both locations ending with their *first* writer's value — that would
+// need both threads' second stores to lose to the other's first,
+// contradicting any total coherence order when each pair is fenced.
+func TwoPlusTwoW(order isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("2+2W(%v)", order),
+		Cores: []topo.CoreID{0, 32},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x, y := addr[0], addr[1]
+			if i == 0 {
+				t.Store(x, 1)
+				t.Barrier(order)
+				t.Store(y, 2)
+			} else {
+				t.Store(y, 1)
+				t.Barrier(order)
+				t.Store(x, 2)
+			}
+			return nil
+		},
+		FormatFinal: func(_ [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
+			return Outcome(fmt.Sprintf("x=%d y=%d", final(addr[0]), final(addr[1])))
+		},
+	}
+}
+
+// RTest is the R shape: T0 stores x=1 then (ordered) y=1; T1 stores
+// y=2 then (ordered) reads x. Forbidden when both ordered: y final 2
+// (T1's store coherence-after T0's) with T1 reading x=0.
+func RTest(order isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("R(%v)", order),
+		Cores: []topo.CoreID{0, 32},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x, y := addr[0], addr[1]
+			if i == 0 {
+				t.Store(x, 1)
+				t.Barrier(order)
+				t.Store(y, 1)
+				return nil
+			}
+			t.Store(y, 2)
+			t.Barrier(order)
+			return []uint64{t.Load(x)}
+		},
+		FormatFinal: func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
+			return Outcome(fmt.Sprintf("r=%d y=%d", regs[1][0], final(addr[1])))
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package litmus
+
+import (
+	"testing"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+)
+
+func TestSShapeForbiddenWhenOrdered(t *testing.T) {
+	// S: with T0's stores fenced and T1's read->store dependency, the
+	// outcome "T1 saw y=1 yet x ends 2" is forbidden: x=1 must be
+	// coherence-last.
+	p := platform.Kunpeng916()
+	res := Run(p, sim.WMM, STest(isa.DMBSt, isa.DataDep), 800, 20000)
+	if res.Observed("r=1 x=2") {
+		t.Fatalf("S shape violated:\n%s", res)
+	}
+}
+
+func TestTwoPlusTwoWForbiddenWhenFenced(t *testing.T) {
+	// 2+2W with DMB st pairs: both locations ending at their first
+	// writer's value (x=1 ∧ y=1) is forbidden.
+	p := platform.Kunpeng916()
+	res := Run(p, sim.WMM, TwoPlusTwoW(isa.DMBSt), 800, 21000)
+	if res.Observed("x=1 y=1") {
+		t.Fatalf("2+2W violated:\n%s", res)
+	}
+}
+
+func TestTwoPlusTwoWAllowedUnfenced(t *testing.T) {
+	// Unfenced, the same outcome is allowed under WMM (non-FIFO drain);
+	// just record whether it surfaced.
+	p := platform.Kunpeng916()
+	res := Run(p, sim.WMM, TwoPlusTwoW(isa.None), 800, 22000)
+	t.Logf("2+2W unfenced histogram:\n%s", res)
+}
+
+func TestRShapeForbiddenWhenFenced(t *testing.T) {
+	// R with full fences: y final 2 (T1's store after T0's) while T1
+	// read x=0 is forbidden.
+	p := platform.Kunpeng916()
+	res := Run(p, sim.WMM, RTest(isa.DMBFull), 800, 23000)
+	if res.Observed("r=0 y=2") {
+		t.Fatalf("R shape violated:\n%s", res)
+	}
+}

@@ -1,0 +1,79 @@
+package litmus
+
+import (
+	"fmt"
+
+	"armbar/internal/isa"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// LoadBuffering is the classic LB test: each thread loads the other's
+// location then stores to its own. The out-of-thin-air-adjacent
+// outcome r0=1,r1=1 would require both loads to read the other's later
+// store; a sane model forbids it (stores never commit before their
+// issue, and loads bind no later than issue), with or without
+// dependencies.
+func LoadBuffering(dep isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("LB(%v)", dep),
+		Cores: []topo.CoreID{0, 4},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			mine, theirs := addr[i], addr[1-i]
+			r := t.Load(theirs)
+			if dep != isa.None {
+				t.Barrier(dep)
+			}
+			t.Store(mine, 1)
+			return []uint64{r}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
+		},
+	}
+}
+
+// CoRR checks per-location read coherence: two program-ordered loads
+// of one location (joined by an address dependency) must not observe
+// values in reverse commit order once a remote store lands.
+func CoRR() *Test {
+	return &Test{
+		Name:  "CoRR",
+		Cores: []topo.CoreID{0, 4},
+		Lines: 1,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x := addr[0]
+			if i == 0 {
+				t.Store(x, 1)
+				return nil
+			}
+			r1 := t.Load(x)
+			t.Barrier(isa.AddrDep)
+			r2 := t.Load(x)
+			return []uint64{r1, r2}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r1=%d r2=%d", regs[1][0], regs[1][1]))
+		},
+	}
+}
+
+// SBWithRMW is store buffering resolved by acquire-release atomics:
+// both threads use an atomic swap for the store, which drains the
+// buffer, so r0=r1=0 is forbidden.
+func SBWithRMW() *Test {
+	return &Test{
+		Name:  "SB(SWPAL)",
+		Cores: []topo.CoreID{0, 4},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			mine, theirs := addr[i], addr[1-i]
+			t.Swap(mine, 1)
+			return []uint64{t.Load(theirs)}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
+		},
+	}
+}

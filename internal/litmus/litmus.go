@@ -1,0 +1,197 @@
+// Package litmus runs classic memory-model litmus tests on the
+// simulator and histograms their outcomes, reproducing the paper's
+// Table 1: the message-passing anomaly (`local != 23`) is allowed under
+// the weakly-ordered model and forbidden under TSO.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// Outcome is one terminal register assignment of a litmus run, e.g.
+// "r0=1 r1=0".
+type Outcome string
+
+// Result is the histogram of outcomes over many seeded runs.
+type Result struct {
+	Test  string
+	Mode  sim.Mode
+	Runs  int
+	Count map[Outcome]int
+}
+
+// Observed reports whether the outcome occurred at least once.
+func (r *Result) Observed(o Outcome) bool { return r.Count[o] > 0 }
+
+// String renders the histogram sorted by outcome.
+func (r *Result) String() string {
+	keys := make([]string, 0, len(r.Count))
+	for k := range r.Count {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s under %v (%d runs):\n", r.Test, r.Mode, r.Runs)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-24s %6d\n", k, r.Count[Outcome(k)])
+	}
+	return b.String()
+}
+
+// Test is a two-or-more-thread litmus program. Threads gets fresh
+// simulated memory each run via the Env and records final register
+// values with Report.
+type Test struct {
+	Name string
+	// Cores to bind the threads to; len(Cores) == number of threads.
+	Cores []topo.CoreID
+	// Setup initializes shared memory; Alloc-ed addresses are passed to
+	// the thread bodies.
+	Lines int
+	Init  func(m *sim.Machine, addr []uint64)
+	// Body runs thread i; it returns that thread's register values in
+	// order (nil if the thread reports nothing).
+	Body func(i int, t *sim.Thread, addr []uint64) []uint64
+	// Format renders the collected registers as a canonical outcome.
+	Format func(regs [][]uint64) Outcome
+	// FormatFinal, when set, renders the outcome from registers plus
+	// the allocated addresses and final committed memory; it takes
+	// precedence over Format.
+	FormatFinal func(regs [][]uint64, addr []uint64, final func(addr uint64) uint64) Outcome
+}
+
+// Run executes the test `runs` times with distinct seeds and returns
+// the outcome histogram.
+func Run(p *platform.Platform, mode sim.Mode, test *Test, runs int, baseSeed int64) *Result {
+	res := &Result{Test: test.Name, Mode: mode, Runs: runs, Count: make(map[Outcome]int)}
+	for r := 0; r < runs; r++ {
+		m := sim.New(sim.Config{Plat: p, Mode: mode, Seed: baseSeed + int64(r)})
+		addr := make([]uint64, test.Lines)
+		for i := range addr {
+			addr[i] = m.Alloc(1)
+		}
+		if test.Init != nil {
+			test.Init(m, addr)
+		}
+		regs := make([][]uint64, len(test.Cores))
+		for i, core := range test.Cores {
+			i := i
+			m.Spawn(core, func(t *sim.Thread) {
+				regs[i] = test.Body(i, t, addr)
+			})
+		}
+		m.Run()
+		if test.FormatFinal != nil {
+			res.Count[test.FormatFinal(regs, addr, m.Directory().Committed)]++
+		} else {
+			res.Count[test.Format(regs)]++
+		}
+	}
+	return res
+}
+
+// MessagePassing is the paper's Table-1 program: thread 0 stores
+// data=23 then flag=DONE (with the given barrier between the stores, or
+// isa.None); thread 1 spins on the flag then loads data (with the given
+// barrier between the loads). The anomalous outcome is "local=0".
+func MessagePassing(producerBarrier, consumerBarrier isa.Barrier) *Test {
+	const done = 1
+	return &Test{
+		Name:  fmt.Sprintf("MP(%v,%v)", producerBarrier, consumerBarrier),
+		Cores: []topo.CoreID{0, 4},
+		Lines: 2, // addr[0]=data, addr[1]=flag
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			data, flag := addr[0], addr[1]
+			if i == 0 {
+				t.Store(data, 23)
+				t.Barrier(producerBarrier)
+				t.Store(flag, done)
+				return nil
+			}
+			// Warm the data line so the consumer holds a (potentially
+			// stale) copy — the classic setup under which the anomaly
+			// is observable.
+			t.Load(data)
+			for t.Load(flag) != done {
+			}
+			t.Barrier(consumerBarrier)
+			return []uint64{t.Load(data)}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("local=%d", regs[1][0]))
+		},
+	}
+}
+
+// StoreBuffering is the classic SB test: both threads store to their
+// own flag then load the other's. Outcome r0=0,r1=0 requires
+// store-buffer forwarding/reordering and is allowed under both TSO and
+// WMM; it is forbidden when both threads use a full barrier.
+func StoreBuffering(barrier isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("SB(%v)", barrier),
+		Cores: []topo.CoreID{0, 4},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			mine, theirs := addr[i], addr[1-i]
+			t.Store(mine, 1)
+			t.Barrier(barrier)
+			return []uint64{t.Load(theirs)}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
+		},
+	}
+}
+
+// CoWW checks per-location coherence: a single thread stores twice to
+// one address; the final committed value must be the second store even
+// with out-of-order drain.
+func CoWW() *Test {
+	return &Test{
+		Name:  "CoWW",
+		Cores: []topo.CoreID{0},
+		Lines: 1,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			t.Store(addr[0], 1)
+			t.Store(addr[0], 2)
+			return []uint64{t.Load(addr[0])}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r0=%d", regs[0][0]))
+		},
+	}
+}
+
+// MPWithAcquireRelease is message passing implemented with
+// STLR (release) on the producer and LDAR (acquire) on the consumer:
+// the anomaly must be forbidden even under WMM.
+func MPWithAcquireRelease() *Test {
+	const done = 1
+	return &Test{
+		Name:  "MP(STLR,LDAR)",
+		Cores: []topo.CoreID{0, 4},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			data, flag := addr[0], addr[1]
+			if i == 0 {
+				t.Store(data, 23)
+				t.StoreRelease(flag, done)
+				return nil
+			}
+			for t.LoadAcquire(flag) != done {
+			}
+			return []uint64{t.Load(data)}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("local=%d", regs[1][0]))
+		},
+	}
+}

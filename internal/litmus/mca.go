@@ -1,0 +1,87 @@
+package litmus
+
+import (
+	"fmt"
+
+	"armbar/internal/isa"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// WRC is the write-to-read-causality test (three threads): T0 stores
+// x=1; T1 reads x then stores y=1 (with the given ordering between);
+// T2 reads y then x (with the given ordering). The outcome
+// "T1 saw x=1, T2 saw y=1 but x=0" breaks causality; it is forbidden
+// on multi-copy-atomic machines (ARMv8 per the paper's reference [36])
+// when both threads order their accesses.
+func WRC(t1Order, t2Order isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("WRC(%v,%v)", t1Order, t2Order),
+		Cores: []topo.CoreID{0, 4, 32},
+		Lines: 2, // x, y
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x, y := addr[0], addr[1]
+			switch i {
+			case 0:
+				t.Store(x, 1)
+				return nil
+			case 1:
+				r := t.Load(x)
+				t.Barrier(t1Order)
+				if r == 1 {
+					t.Store(y, 1)
+				}
+				return []uint64{r}
+			default:
+				ry := t.Load(y)
+				t.Barrier(t2Order)
+				rx := t.Load(x)
+				return []uint64{ry, rx}
+			}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("t1x=%d t2y=%d t2x=%d",
+				regs[1][0], regs[2][0], regs[2][1]))
+		},
+	}
+}
+
+// IRIW is the independent-reads-of-independent-writes test (four
+// threads): writers store x and y; two readers read the pair in
+// opposite orders (each pair ordered by the given barrier). Observing
+// the writes in contradictory orders (r-outcome 1,0,1,0) requires
+// non-multi-copy-atomic stores and must be forbidden by this model,
+// which — like ARMv8 — is multi-copy atomic: a store becomes visible
+// to all other cores at one commit instant.
+func IRIW(order isa.Barrier) *Test {
+	return &Test{
+		Name:  fmt.Sprintf("IRIW(%v)", order),
+		Cores: []topo.CoreID{0, 32, 4, 36},
+		Lines: 2,
+		Body: func(i int, t *sim.Thread, addr []uint64) []uint64 {
+			x, y := addr[0], addr[1]
+			switch i {
+			case 0:
+				t.Store(x, 1)
+				return nil
+			case 1:
+				t.Store(y, 1)
+				return nil
+			case 2:
+				r1 := t.Load(x)
+				t.Barrier(order)
+				r2 := t.Load(y)
+				return []uint64{r1, r2}
+			default:
+				r3 := t.Load(y)
+				t.Barrier(order)
+				r4 := t.Load(x)
+				return []uint64{r3, r4}
+			}
+		},
+		Format: func(regs [][]uint64) Outcome {
+			return Outcome(fmt.Sprintf("r1=%d r2=%d r3=%d r4=%d",
+				regs[2][0], regs[2][1], regs[3][0], regs[3][1]))
+		},
+	}
+}

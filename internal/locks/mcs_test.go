@@ -1,0 +1,64 @@
+package locks
+
+import (
+	"testing"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// runMCS drives an MCS lock directly (it is not part of the Bench
+// Kind enum; it exists as the second in-place lock of §5.1).
+func runMCS(t *testing.T, threads, ops int, unlock isa.Barrier) (valid bool, cycles float64) {
+	t.Helper()
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 3})
+	counter := m.Alloc(1)
+	shared := m.Alloc(1)
+	l := NewMCS(m, threads, unlock)
+	for i := 0; i < threads; i++ {
+		i := i
+		core := topo.CoreID(i * 2 % 63)
+		m.Spawn(core, func(th *sim.Thread) {
+			for op := 0; op < ops; op++ {
+				l.Lock(th, i)
+				v := th.Load(shared)
+				th.Store(shared, v+1)
+				c := th.Load(counter)
+				th.Store(counter, c+1)
+				l.Unlock(th, i)
+				th.Nops(30)
+			}
+		})
+	}
+	cycles = m.Run()
+	want := uint64(threads * ops)
+	valid = m.Directory().Committed(counter) == want &&
+		m.Directory().Committed(shared) == want
+	return valid, cycles
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	valid, _ := runMCS(t, 10, 80, isa.DMBSt)
+	if !valid {
+		t.Fatal("MCS lost updates")
+	}
+}
+
+func TestMCSUnlockBarrierCost(t *testing.T) {
+	// Same Obs-2 story as the ticket lock: dropping the publication
+	// barrier after the CS's RMRs speeds the lock up (and is unsafe).
+	_, normal := runMCS(t, 10, 80, isa.DMBSt)
+	_, removed := runMCS(t, 10, 80, isa.AddrDep)
+	if removed >= normal {
+		t.Errorf("unlock barrier should cost cycles: normal=%g removed=%g", normal, removed)
+	}
+}
+
+func TestMCSSingleThread(t *testing.T) {
+	valid, _ := runMCS(t, 1, 50, isa.DMBSt)
+	if !valid {
+		t.Fatal("single-threaded MCS broken")
+	}
+}

@@ -1,0 +1,240 @@
+// Package mesi implements the cache-coherence directory of the
+// simulator: which cores hold copies of each cache line, who owns
+// (last wrote) it, and — crucially for a weakly-ordered model — for how
+// long an invalidated copy remains readable before the invalidation is
+// processed.
+//
+// A memory access is a remote memory reference (RMR) in the paper's
+// sense when the accessing core holds no usable copy of the line, so
+// the request must travel the interconnect to another core. The
+// directory is purely mechanical: it answers "who has what, since
+// when"; timing policy lives in package sim.
+package mesi
+
+import (
+	"armbar/internal/topo"
+)
+
+// LineShift is log2 of the cache-line size (64 bytes).
+const LineShift = 6
+
+// LineOf returns the cache-line index of an address.
+func LineOf(addr uint64) uint64 { return addr >> LineShift }
+
+// NoCore marks the absence of an owner.
+const NoCore topo.CoreID = -1
+
+// Copy is one core's cached copy of a line.
+type Copy struct {
+	// FetchedAt is when the copy was installed.
+	FetchedAt float64
+	// InvalidatedAt is when a remote store first hit the line after the
+	// fetch; zero means the copy is valid. An invalidated copy may still
+	// be read (returning pre-invalidation values) until the core
+	// processes the invalidation — that window is what makes load
+	// reordering observable.
+	InvalidatedAt float64
+	// ProcessAt is when the holding core processes the invalidation;
+	// stale reads are possible only before it.
+	ProcessAt float64
+	// stale maps addr -> the value the address had when this copy was
+	// invalidated (copy-on-write: only addresses overwritten after the
+	// fetch appear here).
+	stale map[uint64]uint64
+}
+
+// Valid reports whether the copy has not been invalidated.
+func (c *Copy) Valid() bool { return c.InvalidatedAt == 0 }
+
+// StaleValue returns the pre-invalidation value of addr as seen by this
+// copy, and whether the address was snapshotted (false means the
+// committed value is still what the copy would observe).
+func (c *Copy) StaleValue(addr uint64) (uint64, bool) {
+	v, ok := c.stale[addr]
+	return v, ok
+}
+
+// Line is the directory entry for one cache line.
+type Line struct {
+	Owner   topo.CoreID // last writer, NoCore if never written
+	Version uint64      // bumped on every committed store
+	copies  map[topo.CoreID]*Copy
+}
+
+// Directory tracks committed memory values and per-line sharing state.
+type Directory struct {
+	sys        *topo.System
+	lines      map[uint64]*Line
+	mem        map[uint64]uint64
+	prevMem    map[uint64]uint64
+	lastCommit map[uint64]float64
+
+	// Stats
+	Fetches uint64
+	Commits uint64
+}
+
+// NewDirectory returns an empty directory over the given topology.
+func NewDirectory(sys *topo.System) *Directory {
+	return &Directory{
+		sys:        sys,
+		lines:      make(map[uint64]*Line),
+		mem:        make(map[uint64]uint64),
+		prevMem:    make(map[uint64]uint64),
+		lastCommit: make(map[uint64]float64),
+	}
+}
+
+// Committed returns the globally committed value at addr.
+func (d *Directory) Committed(addr uint64) uint64 { return d.mem[addr] }
+
+// SetInitial sets the committed value of addr without coherence actions.
+// Use it only to set up initial state before a run.
+func (d *Directory) SetInitial(addr uint64, v uint64) { d.mem[addr] = v }
+
+func (d *Directory) line(addr uint64) *Line {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		ln = &Line{Owner: NoCore, copies: make(map[topo.CoreID]*Copy)}
+		d.lines[LineOf(addr)] = ln
+	}
+	return ln
+}
+
+// CopyAt returns core's copy of addr's line, or nil.
+func (d *Directory) CopyAt(core topo.CoreID, addr uint64) *Copy {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		return nil
+	}
+	return ln.copies[core]
+}
+
+// Fetch installs a fresh valid copy of addr's line at core, effective at
+// time now (after the miss latency has been paid by the caller).
+func (d *Directory) Fetch(core topo.CoreID, addr uint64, now float64) {
+	ln := d.line(addr)
+	ln.copies[core] = &Copy{FetchedAt: now}
+	d.Fetches++
+}
+
+// AccessDistance classifies how far a request from core for addr must
+// travel: the distance to the current owner if the line is owned
+// elsewhere, else the distance to the farthest other copy, else
+// SameCore (an unshared, effectively local line).
+func (d *Directory) AccessDistance(core topo.CoreID, addr uint64) topo.Distance {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		return topo.SameCore
+	}
+	if ln.Owner != NoCore && ln.Owner != core {
+		return d.sys.DistanceBetween(core, ln.Owner)
+	}
+	far := topo.SameCore
+	for c := range ln.copies {
+		if c == core {
+			continue
+		}
+		if dd := d.sys.DistanceBetween(core, c); dd > far {
+			far = dd
+		}
+	}
+	return far
+}
+
+// HasValidCopy reports whether core holds a valid (non-invalidated)
+// copy of addr's line.
+func (d *Directory) HasValidCopy(core topo.CoreID, addr uint64) bool {
+	c := d.CopyAt(core, addr)
+	return c != nil && c.Valid()
+}
+
+// IsRMR reports whether an access by core to addr is a remote memory
+// reference: the line is not cached, or the cached copy is invalid, and
+// some other core holds it. Purely advisory; used for statistics and
+// for the barrier cost model.
+func (d *Directory) IsRMR(core topo.CoreID, addr uint64) bool {
+	if d.HasValidCopy(core, addr) {
+		return false
+	}
+	return d.AccessDistance(core, addr) != topo.SameCore
+}
+
+// CommitStore makes a store by core to addr globally visible at time
+// now: remote copies are snapshotted (so they can still serve the old
+// value until their invalidation is processed) and marked invalid, the
+// committed value is updated, and core becomes the owner with a fresh
+// valid copy. Each newly invalidated copy will be processed by its
+// holder at now+procDelay (stale reads possible until then).
+func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, procDelay float64) {
+	ln := d.line(addr)
+	old := d.mem[addr]
+	for c, cp := range ln.copies {
+		if c == core {
+			continue
+		}
+		if cp.stale == nil {
+			cp.stale = make(map[uint64]uint64)
+		}
+		if _, snapped := cp.stale[addr]; !snapped {
+			cp.stale[addr] = old
+		}
+		if cp.Valid() {
+			cp.InvalidatedAt = now
+			cp.ProcessAt = now + procDelay
+		}
+	}
+	d.prevMem[addr] = old
+	d.lastCommit[addr] = now
+	d.mem[addr] = v
+	ln.Owner = core
+	ln.Version++
+	ln.copies[core] = &Copy{FetchedAt: now}
+	d.Commits++
+}
+
+// PrevCommitted returns the value addr held before its most recent
+// commit, and the time of that commit (0 if never written).
+func (d *Directory) PrevCommitted(addr uint64) (uint64, float64) {
+	return d.prevMem[addr], d.lastCommit[addr]
+}
+
+// DropCopy removes core's copy of addr's line (e.g. once a stale copy's
+// readable window has lapsed and the core refetches).
+func (d *Directory) DropCopy(core topo.CoreID, addr uint64) {
+	if ln := d.lines[LineOf(addr)]; ln != nil {
+		delete(ln.copies, core)
+	}
+}
+
+// Sharers returns the cores currently holding any copy (valid or stale)
+// of addr's line.
+func (d *Directory) Sharers(addr uint64) []topo.CoreID {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		return nil
+	}
+	out := make([]topo.CoreID, 0, len(ln.copies))
+	for c := range ln.copies {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Owner returns the owning (last writing) core of addr's line.
+func (d *Directory) Owner(addr uint64) topo.CoreID {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		return NoCore
+	}
+	return ln.Owner
+}
+
+// Version returns the commit version of addr's line (0 if never written).
+func (d *Directory) Version(addr uint64) uint64 {
+	ln := d.lines[LineOf(addr)]
+	if ln == nil {
+		return 0
+	}
+	return ln.Version
+}

@@ -1,0 +1,142 @@
+package mesi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"armbar/internal/topo"
+)
+
+func sys() *topo.System {
+	s := topo.New()
+	s.AddCluster(0, topo.Big, 4)
+	s.AddCluster(1, topo.Big, 4)
+	return s
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 || LineOf(200) != 3 {
+		t.Fatal("LineOf boundaries wrong")
+	}
+}
+
+func TestFetchAndInvalidate(t *testing.T) {
+	d := NewDirectory(sys())
+	d.SetInitial(100, 7)
+	d.Fetch(1, 100, 5)
+	if !d.HasValidCopy(1, 100) {
+		t.Fatal("fetched copy must be valid")
+	}
+	d.CommitStore(0, 100, 9, 10, 3)
+	cp := d.CopyAt(1, 100)
+	if cp == nil || cp.Valid() {
+		t.Fatal("remote commit must invalidate the copy")
+	}
+	if cp.InvalidatedAt != 10 || cp.ProcessAt != 13 {
+		t.Fatalf("invalidation times wrong: %+v", cp)
+	}
+	if v, ok := cp.StaleValue(100); !ok || v != 7 {
+		t.Fatalf("stale snapshot = %d ok=%v, want 7", v, ok)
+	}
+	if d.Committed(100) != 9 {
+		t.Fatalf("committed = %d, want 9", d.Committed(100))
+	}
+	if d.Owner(100) != 0 {
+		t.Fatalf("owner = %d, want 0", d.Owner(100))
+	}
+}
+
+func TestStaleSnapshotKeepsFirstValue(t *testing.T) {
+	// Two commits after the fetch: the holder's stale view stays at the
+	// value from fetch time, not an intermediate one.
+	d := NewDirectory(sys())
+	d.SetInitial(0, 1)
+	d.Fetch(2, 0, 0)
+	d.CommitStore(0, 0, 2, 5, 1)
+	d.CommitStore(0, 0, 3, 6, 1)
+	if v, _ := d.CopyAt(2, 0).StaleValue(0); v != 1 {
+		t.Fatalf("stale value = %d, want the fetch-time 1", v)
+	}
+}
+
+func TestRMRAndDistance(t *testing.T) {
+	d := NewDirectory(sys())
+	if d.IsRMR(0, 64) {
+		t.Fatal("untouched line is not an RMR")
+	}
+	d.CommitStore(5, 64, 1, 1, 0) // owner on node 1
+	if !d.IsRMR(0, 64) {
+		t.Fatal("line owned remotely must be an RMR")
+	}
+	if got := d.AccessDistance(0, 64); got != topo.CrossNode {
+		t.Fatalf("distance = %v, want cross-node", got)
+	}
+	d.Fetch(0, 64, 2)
+	if d.IsRMR(0, 64) {
+		t.Fatal("valid local copy is not an RMR")
+	}
+}
+
+func TestVersionMonotonic(t *testing.T) {
+	d := NewDirectory(sys())
+	prev := d.Version(0)
+	for i := 0; i < 10; i++ {
+		d.CommitStore(topo.CoreID(i%3), 0, uint64(i), float64(i), 0)
+		if v := d.Version(0); v != prev+1 {
+			t.Fatalf("version must bump by one: %d -> %d", prev, v)
+		}
+		prev = d.Version(0)
+	}
+}
+
+func TestPrevCommitted(t *testing.T) {
+	d := NewDirectory(sys())
+	d.SetInitial(8, 5)
+	d.CommitStore(0, 8, 6, 10, 0)
+	if v, at := d.PrevCommitted(8); v != 5 || at != 10 {
+		t.Fatalf("PrevCommitted = (%d,%v), want (5,10)", v, at)
+	}
+	d.CommitStore(1, 8, 7, 20, 0)
+	if v, at := d.PrevCommitted(8); v != 6 || at != 20 {
+		t.Fatalf("PrevCommitted = (%d,%v), want (6,20)", v, at)
+	}
+}
+
+func TestSharersAndDrop(t *testing.T) {
+	d := NewDirectory(sys())
+	d.Fetch(0, 0, 1)
+	d.Fetch(3, 0, 2)
+	if got := len(d.Sharers(0)); got != 2 {
+		t.Fatalf("sharers = %d, want 2", got)
+	}
+	d.DropCopy(0, 0)
+	if got := len(d.Sharers(0)); got != 1 {
+		t.Fatalf("after drop, sharers = %d, want 1", got)
+	}
+}
+
+func TestPropertySingleOwnerLastWriterWins(t *testing.T) {
+	// Property: after any commit sequence, Committed equals the last
+	// write and Owner is the last writer.
+	f := func(writers []uint8, vals []uint8) bool {
+		d := NewDirectory(sys())
+		var lastV uint64
+		lastW := NoCore
+		n := len(writers)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n && i < 500; i++ {
+			w := topo.CoreID(writers[i] % 8)
+			d.CommitStore(w, 128, uint64(vals[i]), float64(i), 0)
+			lastV, lastW = uint64(vals[i]), w
+		}
+		if n == 0 {
+			return true
+		}
+		return d.Committed(128) == lastV && d.Owner(128) == lastW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

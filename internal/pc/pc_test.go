@@ -1,0 +1,170 @@
+package pc
+
+import (
+	"testing"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+type binding struct {
+	name string
+	p    *platform.Platform
+	prod topo.CoreID
+	cons topo.CoreID
+}
+
+func crossNode() binding {
+	p := platform.Kunpeng916()
+	return binding{"kunpeng-cross", p, p.Sys.NodeCores(0)[0], p.Sys.NodeCores(1)[0]}
+}
+
+func sameNode() binding {
+	p := platform.Kunpeng916()
+	n0 := p.Sys.NodeCores(0)
+	return binding{"kunpeng-same", p, n0[0], n0[4]}
+}
+
+func run(b binding, mode Mode, combo Combo, msgs int) Result {
+	return Run(Config{
+		Plat: b.p, Producer: b.prod, Consumer: b.cons,
+		Mode: mode, Combo: combo, Messages: msgs, Seed: 42,
+	})
+}
+
+func TestClassicDeliversCorrectly(t *testing.T) {
+	for _, combo := range Figure6aCombos()[:6] { // skip Ideal (no barriers)
+		r := run(crossNode(), Classic, combo, 400)
+		if !r.Valid {
+			t.Errorf("%s: message corruption", combo.Name())
+		}
+	}
+}
+
+func TestPilotDeliversCorrectly(t *testing.T) {
+	for _, b := range []binding{sameNode(), crossNode()} {
+		r := run(b, Pilot, Combo{}, 800)
+		if !r.Valid {
+			t.Errorf("%s: Pilot lost or corrupted messages despite WMM", b.name)
+		}
+	}
+}
+
+func TestPilotBatchedDeliversCorrectly(t *testing.T) {
+	for _, batch := range []int{2, 4, 8, 16, 32} {
+		r := Run(Config{
+			Plat: crossNode().p, Producer: 0, Consumer: 32,
+			Mode: Pilot, Messages: 200, Batch: batch, Seed: 7,
+		})
+		if !r.Valid {
+			t.Errorf("batch=%d: Pilot corrupted messages", batch)
+		}
+	}
+}
+
+func TestFig6aBestComboIsWeakPair(t *testing.T) {
+	// Figure 6a: DMB ld - DMB st (or LDAR - DMB st) beats the full/full
+	// and full/st combos.
+	b := crossNode()
+	fullFull := run(b, Classic, Combo{Avail: isa.DMBFull, Publish: isa.DMBFull}, 600).Throughput()
+	ldSt := run(b, Classic, Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}, 600).Throughput()
+	ldarSt := run(b, Classic, Combo{Avail: isa.LDAR, Publish: isa.DMBSt}, 600).Throughput()
+	if !(ldSt > fullFull) {
+		t.Errorf("DMBld-DMBst (%g) should beat DMBfull-DMBfull (%g)", ldSt, fullFull)
+	}
+	if ratio := ldarSt / ldSt; ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("LDAR-DMBst (%g) should track DMBld-DMBst (%g)", ldarSt, ldSt)
+	}
+}
+
+func TestFig6aSTLRNotBetterCrossNode(t *testing.T) {
+	// Obs 3 in the PC setting: DMBfull-STLR does not beat
+	// DMBfull-DMBfull cross-node.
+	b := crossNode()
+	stlr := run(b, Classic, Combo{Avail: isa.DMBFull, Publish: isa.STLR}, 600).Throughput()
+	full := run(b, Classic, Combo{Avail: isa.DMBFull, Publish: isa.DMBFull}, 600).Throughput()
+	if stlr > 1.1*full {
+		t.Errorf("STLR (%g) should not outperform DMB full (%g) cross-node", stlr, full)
+	}
+}
+
+func TestFig6aRemovingPublicationBarrierIsTheWin(t *testing.T) {
+	// Obs 2 in the PC setting: dropping the line-5 barrier (DMB ld - No
+	// Barrier) is a big jump over the best barriered combo, approaching
+	// Ideal.
+	b := crossNode()
+	best := run(b, Classic, Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}, 600).Throughput()
+	removed := run(b, Classic, Combo{Avail: isa.DMBLd, Publish: isa.None}, 600).Throughput()
+	ideal := run(b, Classic, Combo{Avail: isa.None, Publish: isa.None}, 600).Throughput()
+	if removed < 1.5*best {
+		t.Errorf("removing the publication barrier (%g) should crush the best combo (%g)", removed, best)
+	}
+	if removed < 0.6*ideal {
+		t.Errorf("barrier removal (%g) should be close to Ideal (%g)", removed, ideal)
+	}
+}
+
+func TestFig6bPilotBeatsBestComboEverywhere(t *testing.T) {
+	// Figure 6b: Pilot improves on DMB ld - DMB st on every binding,
+	// most dramatically cross-node, and lands close to Ideal.
+	best := Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
+	type res struct {
+		name  string
+		gain  float64
+		ideal float64
+	}
+	var out []res
+	for _, b := range []binding{sameNode(), crossNode()} {
+		orig := run(b, Classic, best, 600).Throughput()
+		pilot := run(b, Pilot, Combo{}, 600).Throughput()
+		ideal := run(b, Classic, Combo{}, 600).Throughput()
+		out = append(out, res{b.name, pilot / orig, pilot / ideal})
+	}
+	for _, r := range out {
+		if r.gain < 1.10 {
+			t.Errorf("%s: Pilot gain %.2fx, want ≥ 1.10x", r.name, r.gain)
+		}
+		if r.ideal < 0.55 {
+			t.Errorf("%s: Pilot should approach Ideal, got %.2f of it", r.name, r.ideal)
+		}
+	}
+	if out[1].gain < out[0].gain {
+		t.Errorf("cross-node Pilot gain (%.2fx) should exceed same-node (%.2fx)",
+			out[1].gain, out[0].gain)
+	}
+}
+
+func TestFig6cBatchingDilutesPilotGain(t *testing.T) {
+	// Figure 6c: the speedup declines as more 8-byte slices share one
+	// message, but stays positive cross-node.
+	b := crossNode()
+	best := Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
+	gain := func(batch int) float64 {
+		orig := Run(Config{Plat: b.p, Producer: b.prod, Consumer: b.cons,
+			Mode: Classic, Combo: best, Messages: 400, Batch: batch, Seed: 3}).Throughput()
+		pilot := Run(Config{Plat: b.p, Producer: b.prod, Consumer: b.cons,
+			Mode: Pilot, Messages: 400, Batch: batch, Seed: 3}).Throughput()
+		return pilot / orig
+	}
+	g1, g8, g32 := gain(1), gain(8), gain(32)
+	if !(g1 > g8 && g8 > g32*0.95) {
+		t.Errorf("speedup should decline with batch size: g1=%.2f g8=%.2f g32=%.2f", g1, g8, g32)
+	}
+	if g32 < 0.95 {
+		t.Errorf("worst-case Pilot overhead must stay small: g32=%.2f", g32)
+	}
+}
+
+func TestTheoreticalBetweenBestAndPilot(t *testing.T) {
+	b := crossNode()
+	best := run(b, Classic, Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}, 600).Throughput()
+	theo := run(b, Theoretical, Combo{Avail: isa.DMBLd}, 600).Throughput()
+	pilot := run(b, Pilot, Combo{}, 600).Throughput()
+	if !(theo > best) {
+		t.Errorf("Theoretical (%g) should beat the barriered original (%g)", theo, best)
+	}
+	if pilot < 0.9*theo {
+		t.Errorf("Pilot (%g) should at least match Theoretical (%g) — it also drops a cache line", pilot, theo)
+	}
+}

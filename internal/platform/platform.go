@@ -1,0 +1,264 @@
+// Package platform provides the target-platform descriptions of the
+// study (the paper's Table 2) as simulator configurations: a topology
+// plus a calibrated cost model.
+//
+// Absolute latencies are not taken from the paper (it reports only
+// throughputs on real silicon); they are chosen so that the *relations*
+// the paper establishes hold: server interconnects have expensive
+// barrier transactions and long cross-node snoops, mobile interconnects
+// are much flatter, DSB always pays a trip to the inner domain boundary,
+// and so on. EXPERIMENTS.md records how each figure's shape follows.
+package platform
+
+import (
+	"fmt"
+
+	"armbar/internal/topo"
+)
+
+// CostModel holds every timing parameter of a simulated platform, in
+// cycles (of that platform's own clock) unless stated otherwise.
+type CostModel struct {
+	// FreqGHz converts cycles to seconds when reporting throughput.
+	FreqGHz float64
+	// IssueWidth is how many trivial ALU ops (nops, adds) retire per cycle.
+	IssueWidth float64
+
+	// CacheHit is the cost of a load/store hitting the local cache.
+	CacheHit float64
+	// StoreBufferLatency is the cost of placing a store into the store
+	// buffer (the store itself retires immediately afterwards).
+	StoreBufferLatency float64
+	// StoreBufferEntries is the buffer capacity; issue stalls when the
+	// buffer is full, which is what serializes fenced store streams.
+	StoreBufferEntries int
+	// DrainDelay is the base background delay before a buffered store
+	// commits to the coherence fabric.
+	DrainDelay float64
+	// DrainJitter is the width of the uniform extra drain delay applied
+	// in WMM mode; it is what lets same-cost stores commit out of order.
+	DrainJitter float64
+
+	// MissSameCluster / MissSameNode / MissCrossNode are the costs of a
+	// coherence miss whose owner sits at the given distance.
+	MissSameCluster float64
+	MissSameNode    float64
+	MissCrossNode   float64
+
+	// InvalidationDelay is how long a remote copy stays readable (stale)
+	// after a store to the line commits elsewhere: the window that makes
+	// load reordering observable.
+	InvalidationDelay float64
+
+	// BarrierTxnSameCluster / SameNode / CrossNode are the round-trip
+	// costs of a DMB *memory barrier transaction* to the inner
+	// bi-section boundary spanning the given distance (Obs 5: DMB pays
+	// only as far as the farthest sharer).
+	BarrierTxnSameCluster float64
+	BarrierTxnSameNode    float64
+	BarrierTxnCrossNode   float64
+
+	// SyncTxn is the round-trip of a DSB *synchronization barrier
+	// transaction* to the inner domain boundary. It does not depend on
+	// where the sharers are (Obs 5: "DSB does not benefit from the
+	// locality").
+	SyncTxn float64
+
+	// PipelineFlush is the ISB cost.
+	PipelineFlush float64
+
+	// STLRPenaltyMin/Max bound the unstable extra cost of STLR beyond a
+	// plain committed store (Obs 3: between DMB st and DSB, unstable).
+	STLRPenaltyMin float64
+	STLRPenaltyMax float64
+}
+
+// Platform bundles a name, a topology and a cost model.
+type Platform struct {
+	Name         string
+	Arch         string // human-readable core description (Table 2)
+	Interconnect string
+	Sys          *topo.System
+	Cost         CostModel
+}
+
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s (%s, %d cores, %d nodes, %s)",
+		p.Name, p.Arch, p.Sys.NumCores(), p.Sys.NumNodes(), p.Interconnect)
+}
+
+// Kunpeng916 models the 2-node, 2x32-core ARM server of the study
+// (Hydra interface interconnect, 2.4 GHz). Each node holds 8 clusters
+// of 4 cores. Its bus is "complex": barrier transactions are expensive
+// and cross-node snoops are a killer (Obs 4, Obs 5).
+func Kunpeng916() *Platform {
+	s := topo.New()
+	for node := 0; node < 2; node++ {
+		for cl := 0; cl < 8; cl++ {
+			s.AddCluster(node, topo.Big, 4)
+		}
+	}
+	return &Platform{
+		Name:         "Kunpeng916",
+		Arch:         "Cortex-A72 2x32",
+		Interconnect: "Hydra Interface",
+		Sys:          s,
+		Cost: CostModel{
+			FreqGHz:            2.4,
+			IssueWidth:         3,
+			CacheHit:           3,
+			StoreBufferLatency: 1,
+			StoreBufferEntries: 24,
+			DrainDelay:         12,
+			DrainJitter:        50,
+			MissSameCluster:    42,
+			MissSameNode:       48,
+			MissCrossNode:      230,
+			InvalidationDelay:  40,
+
+			BarrierTxnSameCluster: 18,
+			BarrierTxnSameNode:    25,
+			BarrierTxnCrossNode:   250,
+			SyncTxn:               480,
+
+			PipelineFlush:  22,
+			STLRPenaltyMin: 120,
+			STLRPenaltyMax: 520,
+		},
+	}
+}
+
+// Kirin960 models the big.LITTLE mobile SoC (4x A73 + 4x A53 on one
+// node, ARM CCI-550, 2.1 GHz). The interconnect is simple: barrier
+// transactions are cheap and flat (Obs 4).
+func Kirin960() *Platform {
+	s := topo.New()
+	s.AddCluster(0, topo.Big, 4)
+	s.AddCluster(0, topo.Little, 4)
+	return &Platform{
+		Name:         "Kirin960",
+		Arch:         "Cortex-A73 + Cortex-A53 (4+4)",
+		Interconnect: "ARM CCI-550",
+		Sys:          s,
+		Cost: CostModel{
+			FreqGHz:            2.1,
+			IssueWidth:         2,
+			CacheHit:           3,
+			StoreBufferLatency: 1,
+			StoreBufferEntries: 12,
+			DrainDelay:         8,
+			DrainJitter:        20,
+			MissSameCluster:    35,
+			MissSameNode:       60,
+			MissCrossNode:      60, // single node: unused
+			InvalidationDelay:  25,
+
+			BarrierTxnSameCluster: 16,
+			BarrierTxnSameNode:    24,
+			BarrierTxnCrossNode:   24,
+			SyncTxn:               90,
+
+			PipelineFlush: 16,
+			// Obs 3 is platform-specific: on the Kirin SoCs STLR is
+			// nearly free (the paper's Fig 3c/3d show it at ~90% of
+			// no-barrier), unlike Kunpeng916 and the Pi.
+			STLRPenaltyMin: 1,
+			STLRPenaltyMax: 4,
+		},
+	}
+}
+
+// Kirin970 is the successor SoC (same layout, 2.36 GHz, slightly
+// faster uncore).
+func Kirin970() *Platform {
+	p := Kirin960()
+	p.Name = "Kirin970"
+	p.Cost.FreqGHz = 2.36
+	p.Cost.MissSameCluster = 32
+	p.Cost.MissSameNode = 55
+	p.Cost.MissCrossNode = 55
+	p.Cost.BarrierTxnSameCluster = 14
+	p.Cost.BarrierTxnSameNode = 22
+	p.Cost.BarrierTxnCrossNode = 22
+	p.Cost.SyncTxn = 80
+	return p
+}
+
+// RaspberryPi4 models the 4x Cortex-A72 embedded board (1.5 GHz,
+// unknown interconnect — in practice flat but with a slow DSB path and
+// an expensive STLR, which the paper observes).
+func RaspberryPi4() *Platform {
+	s := topo.New()
+	s.AddCluster(0, topo.Big, 4)
+	return &Platform{
+		Name:         "Raspberry Pi 4",
+		Arch:         "Cortex-A72 x4",
+		Interconnect: "Unknown",
+		Sys:          s,
+		Cost: CostModel{
+			FreqGHz:            1.5,
+			IssueWidth:         2,
+			CacheHit:           3,
+			StoreBufferLatency: 1,
+			StoreBufferEntries: 12,
+			DrainDelay:         10,
+			DrainJitter:        24,
+			MissSameCluster:    40,
+			MissSameNode:       40,
+			MissCrossNode:      40,
+			InvalidationDelay:  30,
+
+			BarrierTxnSameCluster: 14,
+			BarrierTxnSameNode:    14,
+			BarrierTxnCrossNode:   14,
+			SyncTxn:               110,
+
+			PipelineFlush:  18,
+			STLRPenaltyMin: 30, // Obs 3: STLR does not perform well on rpi4
+			STLRPenaltyMax: 110,
+		},
+	}
+}
+
+// All returns the four study platforms in the paper's order.
+func All() []*Platform {
+	return []*Platform{Kunpeng916(), Kirin960(), Kirin970(), RaspberryPi4()}
+}
+
+// ByName returns the platform with the given name (case-sensitive,
+// matching the Name field) or nil.
+func ByName(name string) *Platform {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// MissLatency returns the coherence-miss cost for an owner at distance d.
+func (c *CostModel) MissLatency(d topo.Distance) float64 {
+	switch d {
+	case topo.SameCore:
+		return c.CacheHit
+	case topo.SameCluster:
+		return c.MissSameCluster
+	case topo.SameNode:
+		return c.MissSameNode
+	default:
+		return c.MissCrossNode
+	}
+}
+
+// BarrierTxn returns the memory-barrier-transaction round trip for a
+// bi-section boundary spanning distance d.
+func (c *CostModel) BarrierTxn(d topo.Distance) float64 {
+	switch d {
+	case topo.SameCore, topo.SameCluster:
+		return c.BarrierTxnSameCluster
+	case topo.SameNode:
+		return c.BarrierTxnSameNode
+	default:
+		return c.BarrierTxnCrossNode
+	}
+}

@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"testing"
+
+	"armbar/internal/topo"
+)
+
+func TestPresetsExist(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("want 4 platforms, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, p := range all {
+		names[p.Name] = true
+		if p.Sys.NumCores() == 0 {
+			t.Errorf("%s: no cores", p.Name)
+		}
+		if p.Cost.FreqGHz <= 0 || p.Cost.IssueWidth <= 0 {
+			t.Errorf("%s: bad clock/width", p.Name)
+		}
+		if p.Cost.StoreBufferEntries <= 0 {
+			t.Errorf("%s: store buffer must be bounded and positive", p.Name)
+		}
+	}
+	for _, want := range []string{"Kunpeng916", "Kirin960", "Kirin970", "Raspberry Pi 4"} {
+		if !names[want] {
+			t.Errorf("missing platform %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Kunpeng916") == nil {
+		t.Error("ByName(Kunpeng916) = nil")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestKunpengTopology(t *testing.T) {
+	p := Kunpeng916()
+	if p.Sys.NumNodes() != 2 || p.Sys.NumCores() != 64 {
+		t.Fatalf("Kunpeng916: %d nodes, %d cores", p.Sys.NumNodes(), p.Sys.NumCores())
+	}
+	if len(p.Sys.NodeCores(0)) != 32 {
+		t.Fatalf("node 0 must have 32 cores")
+	}
+}
+
+func TestMobilePlatformsAreBigLittle(t *testing.T) {
+	for _, p := range []*Platform{Kirin960(), Kirin970()} {
+		if got := len(p.Sys.CoresOfClass(topo.Big)); got != 4 {
+			t.Errorf("%s: %d big cores, want 4", p.Name, got)
+		}
+		if got := len(p.Sys.CoresOfClass(topo.Little)); got != 4 {
+			t.Errorf("%s: %d little cores, want 4", p.Name, got)
+		}
+	}
+}
+
+func TestCostRelationsBehindTheObservations(t *testing.T) {
+	kp := Kunpeng916().Cost
+	// Obs 4: the server's barrier transactions dwarf the mobile ones.
+	for _, m := range []*Platform{Kirin960(), Kirin970(), RaspberryPi4()} {
+		if kp.SyncTxn <= m.Cost.SyncTxn {
+			t.Errorf("server SyncTxn (%v) must exceed %s (%v)", kp.SyncTxn, m.Name, m.Cost.SyncTxn)
+		}
+		if kp.BarrierTxnCrossNode <= m.Cost.BarrierTxnCrossNode {
+			t.Errorf("server cross-node txn must exceed %s", m.Name)
+		}
+	}
+	// Obs 5: crossing nodes is a killer.
+	if kp.MissCrossNode <= 2*kp.MissSameNode {
+		t.Errorf("cross-node miss (%v) should dwarf same-node (%v)", kp.MissCrossNode, kp.MissSameNode)
+	}
+	if kp.BarrierTxnCrossNode <= 2*kp.BarrierTxnSameNode {
+		t.Errorf("cross-node barrier txn should dwarf same-node")
+	}
+	// DSB vs DMB: the domain boundary is the farthest.
+	if kp.SyncTxn <= kp.BarrierTxnCrossNode {
+		t.Errorf("SyncTxn (%v) must exceed the widest memory-barrier txn (%v)",
+			kp.SyncTxn, kp.BarrierTxnCrossNode)
+	}
+	// Obs 3: STLR's band sits between DMB st's txn and DSB.
+	if kp.STLRPenaltyMin <= kp.BarrierTxnSameNode {
+		t.Errorf("STLR floor should exceed a cheap DMB txn")
+	}
+	if kp.STLRPenaltyMax <= kp.BarrierTxnCrossNode {
+		t.Errorf("STLR ceiling should reach past DMB txns")
+	}
+}
+
+func TestMissLatencyMonotone(t *testing.T) {
+	for _, p := range All() {
+		c := p.Cost
+		ds := []topo.Distance{topo.SameCore, topo.SameCluster, topo.SameNode, topo.CrossNode}
+		for i := 1; i < len(ds); i++ {
+			if c.MissLatency(ds[i]) < c.MissLatency(ds[i-1]) {
+				t.Errorf("%s: miss latency not monotone at %v", p.Name, ds[i])
+			}
+			if c.BarrierTxn(ds[i]) < c.BarrierTxn(ds[i-1]) {
+				t.Errorf("%s: barrier txn not monotone at %v", p.Name, ds[i])
+			}
+		}
+	}
+}

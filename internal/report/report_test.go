@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Demo", "Name", "Value", "Ratio")
+	t.Row("alpha", 1234567.0, 0.5)
+	t.Row("b,eta", 12, `quo"te`)
+	t.Note = "a note"
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	s := sample().String()
+	if !strings.HasPrefix(s, "## Demo\n") {
+		t.Errorf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("want 6 lines, got %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Ratio") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[5], "note: ") {
+		t.Errorf("note missing: %q", lines[5])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("f", "v")
+	tb.Row(0.0)
+	tb.Row(1234567.0)
+	tb.Row(123.456)
+	tb.Row(1.23456)
+	if tb.Cell(0, 0) != "0" {
+		t.Errorf("zero cell = %q", tb.Cell(0, 0))
+	}
+	if !strings.Contains(tb.Cell(1, 0), "e+06") {
+		t.Errorf("large float = %q, want scientific", tb.Cell(1, 0))
+	}
+	if tb.Cell(2, 0) != "123.5" {
+		t.Errorf("medium float = %q", tb.Cell(2, 0))
+	}
+	if tb.Cell(3, 0) != "1.235" {
+		t.Errorf("small float = %q", tb.Cell(3, 0))
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	c := sample().CSV()
+	lines := strings.Split(strings.TrimRight(c, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 CSV lines, got %d", len(lines))
+	}
+	if lines[0] != "Name,Value,Ratio" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"b,eta"`) {
+		t.Errorf("comma cell not quoted: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], `"quo""te"`) {
+		t.Errorf("quote cell not escaped: %q", lines[2])
+	}
+}
+
+func TestRowsAndCell(t *testing.T) {
+	tb := sample()
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "alpha" {
+		t.Fatalf("Cell(0,0) = %q", tb.Cell(0, 0))
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "### Demo") {
+		t.Errorf("title: %q", lines[0])
+	}
+	if !strings.Contains(md, "| Name | Value | Ratio |") {
+		t.Errorf("header row wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- | --- |") {
+		t.Errorf("separator wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "*a note*") {
+		t.Errorf("note wrong:\n%s", md)
+	}
+}

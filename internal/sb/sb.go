@@ -1,0 +1,124 @@
+// Package sb models a per-core store buffer. Stores retire into the
+// buffer immediately and commit (become globally visible) later; the
+// owning core forwards its own pending values to its loads. Under the
+// weakly-ordered model the buffer is allowed to commit entries out of
+// order (the ARM design choice the paper's §6 discusses); in TSO mode
+// commits are forced FIFO.
+package sb
+
+import "math"
+
+// Entry is one pending store.
+type Entry struct {
+	Seq    uint64  // issue order, unique per buffer
+	Addr   uint64  // target address
+	Value  uint64  // value to commit
+	Issue  float64 // issue time
+	Commit float64 // scheduled commit time
+}
+
+// Buffer is a bounded store buffer. The zero value is not usable; call
+// New.
+type Buffer struct {
+	cap     int
+	fifo    bool
+	nextSeq uint64
+	pending []Entry // issue order
+}
+
+// New returns a buffer with the given capacity. If fifo is true the
+// buffer guarantees in-order commit (TSO); otherwise entries commit at
+// their individually scheduled times (WMM).
+func New(capacity int, fifo bool) *Buffer {
+	if capacity <= 0 {
+		panic("sb: capacity must be positive")
+	}
+	return &Buffer{cap: capacity, fifo: fifo}
+}
+
+// FIFO reports whether the buffer commits in order.
+func (b *Buffer) FIFO() bool { return b.fifo }
+
+// Len reports the number of pending (uncommitted) stores.
+func (b *Buffer) Len() int { return len(b.pending) }
+
+// Full reports whether a new store would exceed capacity.
+func (b *Buffer) Full() bool { return len(b.pending) >= b.cap }
+
+// Push inserts a store issued at issue with proposed commit time
+// commit, returning the entry actually recorded. In FIFO mode the
+// commit time is clamped to be no earlier than the last pending
+// entry's, preserving order.
+func (b *Buffer) Push(addr, value uint64, issue, commit float64) Entry {
+	if b.Full() {
+		panic("sb: push into full buffer (caller must stall first)")
+	}
+	if b.fifo && len(b.pending) > 0 {
+		if last := b.pending[len(b.pending)-1].Commit; commit <= last {
+			commit = math.Nextafter(last, math.Inf(1))
+		}
+	}
+	b.nextSeq++
+	e := Entry{Seq: b.nextSeq, Addr: addr, Value: value, Issue: issue, Commit: commit}
+	b.pending = append(b.pending, e)
+	return e
+}
+
+// Forward returns the youngest pending value for addr, if any: the
+// core's own loads must observe its own stores.
+func (b *Buffer) Forward(addr uint64) (uint64, bool) {
+	for i := len(b.pending) - 1; i >= 0; i-- {
+		if b.pending[i].Addr == addr {
+			return b.pending[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Remove deletes the entry with the given sequence number (when its
+// commit event has been applied).
+func (b *Buffer) Remove(seq uint64) bool {
+	for i := range b.pending {
+		if b.pending[i].Seq == seq {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// MaxCommit returns the latest scheduled commit time among pending
+// entries, or 0 if the buffer is empty. Barriers that order stores wait
+// at least this long.
+func (b *Buffer) MaxCommit() float64 {
+	var m float64
+	for i := range b.pending {
+		if b.pending[i].Commit > m {
+			m = b.pending[i].Commit
+		}
+	}
+	return m
+}
+
+// MinCommit returns the earliest scheduled commit time among pending
+// entries, or 0 if the buffer is empty. A full buffer stalls issue
+// until this time.
+func (b *Buffer) MinCommit() float64 {
+	if len(b.pending) == 0 {
+		return 0
+	}
+	m := b.pending[0].Commit
+	for i := 1; i < len(b.pending); i++ {
+		if b.pending[i].Commit < m {
+			m = b.pending[i].Commit
+		}
+	}
+	return m
+}
+
+// Entries returns a snapshot of the pending entries in issue order.
+func (b *Buffer) Entries() []Entry {
+	out := make([]Entry, len(b.pending))
+	copy(out, b.pending)
+	return out
+}

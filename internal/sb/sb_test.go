@@ -1,0 +1,145 @@
+package sb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushForwardRemove(t *testing.T) {
+	b := New(4, false)
+	e1 := b.Push(64, 11, 1, 10)
+	e2 := b.Push(64, 22, 2, 8)
+	if v, ok := b.Forward(64); !ok || v != 22 {
+		t.Fatalf("Forward must return the youngest value: got %d ok=%v", v, ok)
+	}
+	if !b.Remove(e2.Seq) {
+		t.Fatal("remove e2")
+	}
+	if v, _ := b.Forward(64); v != 11 {
+		t.Fatalf("after removing e2, Forward = %d, want 11", v)
+	}
+	if !b.Remove(e1.Seq) {
+		t.Fatal("remove e1")
+	}
+	if _, ok := b.Forward(64); ok {
+		t.Fatal("empty buffer must not forward")
+	}
+	if b.Remove(999) {
+		t.Fatal("removing unknown seq must fail")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	b := New(2, false)
+	b.Push(0, 0, 0, 1)
+	b.Push(64, 0, 0, 2)
+	if !b.Full() {
+		t.Fatal("buffer should be full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push into full buffer must panic")
+		}
+	}()
+	b.Push(128, 0, 0, 3)
+}
+
+func TestFIFOClampsCommits(t *testing.T) {
+	b := New(8, true)
+	b.Push(0, 1, 0, 100)
+	e2 := b.Push(64, 2, 1, 50) // would commit earlier: clamped
+	if e2.Commit <= 100 {
+		t.Fatalf("FIFO commit %v must exceed the earlier store's 100", e2.Commit)
+	}
+}
+
+func TestMinMaxCommit(t *testing.T) {
+	b := New(8, false)
+	if b.MaxCommit() != 0 || b.MinCommit() != 0 {
+		t.Fatal("empty buffer commits must be 0")
+	}
+	b.Push(0, 0, 0, 30)
+	b.Push(64, 0, 0, 10)
+	b.Push(128, 0, 0, 20)
+	if b.MaxCommit() != 30 {
+		t.Errorf("MaxCommit = %v, want 30", b.MaxCommit())
+	}
+	if b.MinCommit() != 10 {
+		t.Errorf("MinCommit = %v, want 10", b.MinCommit())
+	}
+}
+
+func TestPropertyForwardingSeesLatestPerAddress(t *testing.T) {
+	// Property: after any Push sequence, Forward(addr) returns the
+	// value of the last pending push to addr.
+	f := func(addrs []uint8, vals []uint8) bool {
+		b := New(1024, false)
+		last := map[uint64]uint64{}
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n && i < 1000; i++ {
+			a := uint64(addrs[i]) * 8
+			v := uint64(vals[i])
+			b.Push(a, v, float64(i), float64(i+5))
+			last[a] = v
+		}
+		for a, want := range last {
+			if got, ok := b.Forward(a); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFIFOCommitsMonotonic(t *testing.T) {
+	f := func(commits []float64) bool {
+		b := New(4096, true)
+		prev := -1.0
+		for i, c := range commits {
+			if len(commits) > 4000 && i >= 4000 {
+				break
+			}
+			// Clamp to a realistic cycle range.
+			c = math.Mod(math.Abs(c), 1e12)
+			e := b.Push(uint64(i)*8, 0, float64(i), c)
+			if e.Commit <= prev {
+				return false
+			}
+			prev = e.Commit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntriesSnapshot(t *testing.T) {
+	b := New(4, false)
+	b.Push(0, 1, 0, 1)
+	b.Push(64, 2, 0, 2)
+	es := b.Entries()
+	if len(es) != 2 || es[0].Value != 1 || es[1].Value != 2 {
+		t.Fatalf("Entries = %+v", es)
+	}
+	es[0].Value = 99 // mutating the snapshot must not affect the buffer
+	if v, _ := b.Forward(0); v != 1 {
+		t.Fatal("snapshot mutation leaked into buffer")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) must panic")
+		}
+	}()
+	New(0, false)
+}

@@ -1,0 +1,221 @@
+// Package scenario runs user-described workloads on the simulator: a
+// JSON document names a platform, declares shared variables, and gives
+// each thread a looped op sequence (loads, stores, barriers, atomics,
+// spins, padding). It exists so the characterization methodology can
+// be applied to workloads beyond the paper's, without writing Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+	"armbar/internal/topo"
+)
+
+// Op is one step of a thread's loop.
+type Op struct {
+	// Op selects the action: load, loadacq, loadacqpc, store, storerel,
+	// fetchadd, swap, cas, barrier, nops, work, spin_eq, spin_ne.
+	Op string `json:"op"`
+	// Var names the shared variable for memory ops.
+	Var string `json:"var,omitempty"`
+	// Value is the stored/added/compared value (and spin target).
+	Value uint64 `json:"value,omitempty"`
+	// New is CAS's replacement value.
+	New uint64 `json:"new,omitempty"`
+	// Barrier names the order-preserving approach for op=barrier
+	// ("DMB st", "DSB full", "ADDR DEP", ...).
+	Barrier string `json:"barrier,omitempty"`
+	// N is the count for nops, or cycles for work.
+	N int `json:"n,omitempty"`
+}
+
+// ThreadSpec is one simulated thread.
+type ThreadSpec struct {
+	Core int  `json:"core"`
+	Loop int  `json:"loop"` // iterations of Ops (default 1)
+	Ops  []Op `json:"ops"`
+}
+
+// Spec is the whole scenario.
+type Spec struct {
+	Platform string            `json:"platform"` // platform.ByName key
+	Mode     string            `json:"mode"`     // "WMM" (default) or "TSO"
+	Seed     int64             `json:"seed"`
+	Vars     []string          `json:"vars"`
+	Init     map[string]uint64 `json:"init,omitempty"`
+	Threads  []ThreadSpec      `json:"threads"`
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Cycles  float64
+	Seconds float64
+	Threads []sim.ThreadStats
+	Final   map[string]uint64
+	Stats   sim.Stats
+}
+
+// Parse reads a Spec from JSON.
+func Parse(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// barrierByName resolves the paper's legend names.
+func barrierByName(name string) (isa.Barrier, error) {
+	for _, b := range isa.All() {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown barrier %q", name)
+}
+
+// Validate checks the spec statically.
+func (s *Spec) Validate() error {
+	p := platform.ByName(s.Platform)
+	if p == nil {
+		return fmt.Errorf("scenario: unknown platform %q", s.Platform)
+	}
+	if s.Mode != "" && s.Mode != "WMM" && s.Mode != "TSO" {
+		return fmt.Errorf("scenario: mode must be WMM or TSO, got %q", s.Mode)
+	}
+	vars := map[string]bool{}
+	for _, v := range s.Vars {
+		vars[v] = true
+	}
+	if len(s.Threads) == 0 {
+		return fmt.Errorf("scenario: no threads")
+	}
+	for ti, th := range s.Threads {
+		if th.Core < 0 || th.Core >= p.Sys.NumCores() {
+			return fmt.Errorf("scenario: thread %d core %d out of range [0,%d)",
+				ti, th.Core, p.Sys.NumCores())
+		}
+		for oi, op := range th.Ops {
+			switch op.Op {
+			case "load", "loadacq", "loadacqpc", "store", "storerel",
+				"fetchadd", "swap", "cas", "spin_eq", "spin_ne":
+				if !vars[op.Var] {
+					return fmt.Errorf("scenario: thread %d op %d: unknown var %q", ti, oi, op.Var)
+				}
+			case "barrier":
+				if _, err := barrierByName(op.Barrier); err != nil {
+					return fmt.Errorf("thread %d op %d: %w", ti, oi, err)
+				}
+			case "nops", "work":
+				if op.N <= 0 {
+					return fmt.Errorf("scenario: thread %d op %d: %s needs n > 0", ti, oi, op.Op)
+				}
+			default:
+				return fmt.Errorf("scenario: thread %d op %d: unknown op %q", ti, oi, op.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario. An optional tracer receives every event.
+func (s *Spec) Run(tr sim.Tracer) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := platform.ByName(s.Platform)
+	mode := sim.WMM
+	if s.Mode == "TSO" {
+		mode = sim.TSO
+	}
+	m := sim.New(sim.Config{Plat: p, Mode: mode, Seed: s.Seed})
+	if tr != nil {
+		m.SetTracer(tr)
+	}
+	addr := make(map[string]uint64, len(s.Vars))
+	for _, v := range s.Vars {
+		addr[v] = m.Alloc(1)
+	}
+	for v, init := range s.Init {
+		a, ok := addr[v]
+		if !ok {
+			return nil, fmt.Errorf("scenario: init of unknown var %q", v)
+		}
+		m.SetInitial(a, init)
+	}
+
+	stats := make([]sim.ThreadStats, len(s.Threads))
+	for ti, th := range s.Threads {
+		ti, th := ti, th
+		loops := th.Loop
+		if loops <= 0 {
+			loops = 1
+		}
+		handle := m.Spawn(topo.CoreID(th.Core), func(t *sim.Thread) {
+			for l := 0; l < loops; l++ {
+				for _, op := range th.Ops {
+					runOp(t, op, addr)
+				}
+			}
+		})
+		defer func() { stats[ti] = handle.Stats() }()
+	}
+	cycles := m.Run()
+	final := make(map[string]uint64, len(addr))
+	for v, a := range addr {
+		final[v] = m.Directory().Committed(a)
+	}
+	return &Result{
+		Cycles:  cycles,
+		Seconds: m.Seconds(cycles),
+		Threads: stats,
+		Final:   final,
+		Stats:   m.Stats(),
+	}, nil
+}
+
+// runOp executes one op on a thread.
+func runOp(t *sim.Thread, op Op, addr map[string]uint64) {
+	a := addr[op.Var]
+	switch op.Op {
+	case "load":
+		t.Load(a)
+	case "loadacq":
+		t.LoadAcquire(a)
+	case "loadacqpc":
+		t.LoadAcquirePC(a)
+	case "store":
+		t.Store(a, op.Value)
+	case "storerel":
+		t.StoreRelease(a, op.Value)
+	case "fetchadd":
+		t.FetchAdd(a, op.Value)
+	case "swap":
+		t.Swap(a, op.Value)
+	case "cas":
+		t.CompareAndSwap(a, op.Value, op.New)
+	case "barrier":
+		b, _ := barrierByName(op.Barrier)
+		t.Barrier(b)
+	case "nops":
+		t.Nops(op.N)
+	case "work":
+		t.Work(float64(op.N))
+	case "spin_eq":
+		// Wait until the variable equals Value.
+		for t.Load(a) != op.Value {
+			t.Nops(4)
+		}
+	case "spin_ne":
+		for t.Load(a) == op.Value {
+			t.Nops(4)
+		}
+	}
+}

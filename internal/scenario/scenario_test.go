@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const mpSpec = `{
+  "platform": "Kunpeng916",
+  "seed": 3,
+  "vars": ["data", "flag"],
+  "threads": [
+    {"core": 0, "ops": [
+      {"op": "store", "var": "data", "value": 23},
+      {"op": "barrier", "barrier": "DMB st"},
+      {"op": "store", "var": "flag", "value": 1}
+    ]},
+    {"core": 32, "ops": [
+      {"op": "spin_eq", "var": "flag", "value": 1},
+      {"op": "barrier", "barrier": "DMB ld"},
+      {"op": "load", "var": "data"}
+    ]}
+  ]
+}`
+
+func TestParseAndRunMessagePassing(t *testing.T) {
+	spec, err := Parse(strings.NewReader(mpSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final["data"] != 23 || res.Final["flag"] != 1 {
+		t.Fatalf("final state wrong: %v", res.Final)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	if len(res.Threads) != 2 {
+		t.Fatalf("thread stats count %d", len(res.Threads))
+	}
+	if res.Threads[0].Stores == 0 || res.Threads[1].Loads == 0 {
+		t.Fatalf("stats not collected: %+v", res.Threads)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown platform", `{"platform":"nope","vars":[],"threads":[{"core":0,"ops":[]}]}`, "unknown platform"},
+		{"bad mode", `{"platform":"Kunpeng916","mode":"SC","vars":[],"threads":[{"core":0,"ops":[]}]}`, "mode must be"},
+		{"no threads", `{"platform":"Kunpeng916","vars":[]}`, "no threads"},
+		{"bad core", `{"platform":"Kunpeng916","vars":[],"threads":[{"core":99,"ops":[]}]}`, "out of range"},
+		{"unknown var", `{"platform":"Kunpeng916","vars":["x"],"threads":[{"core":0,"ops":[{"op":"load","var":"y"}]}]}`, "unknown var"},
+		{"unknown barrier", `{"platform":"Kunpeng916","vars":[],"threads":[{"core":0,"ops":[{"op":"barrier","barrier":"MFENCE"}]}]}`, "unknown barrier"},
+		{"unknown op", `{"platform":"Kunpeng916","vars":[],"threads":[{"core":0,"ops":[{"op":"jump"}]}]}`, "unknown op"},
+		{"bad nops", `{"platform":"Kunpeng916","vars":[],"threads":[{"core":0,"ops":[{"op":"nops"}]}]}`, "needs n > 0"},
+	}
+	for _, c := range cases {
+		spec, err := Parse(strings.NewReader(c.json))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		err = spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"platform":"Kunpeng916","typo":1}`))
+	if err == nil {
+		t.Fatal("unknown field should fail parsing")
+	}
+}
+
+func TestAtomicsAndSpins(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`{
+	  "platform": "Kirin960",
+	  "seed": 5,
+	  "vars": ["ctr", "turn"],
+	  "init": {"turn": 1},
+	  "threads": [
+	    {"core": 0, "loop": 50, "ops": [
+	      {"op": "spin_eq", "var": "turn", "value": 1},
+	      {"op": "fetchadd", "var": "ctr", "value": 1},
+	      {"op": "swap", "var": "turn", "value": 2}
+	    ]},
+	    {"core": 1, "loop": 50, "ops": [
+	      {"op": "spin_eq", "var": "turn", "value": 2},
+	      {"op": "fetchadd", "var": "ctr", "value": 1},
+	      {"op": "swap", "var": "turn", "value": 1}
+	    ]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final["ctr"] != 100 {
+		t.Fatalf("alternating counter = %d, want 100", res.Final["ctr"])
+	}
+}
+
+func TestTSOMode(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`{
+	  "platform": "Kunpeng916", "mode": "TSO", "seed": 7,
+	  "vars": ["x"],
+	  "threads": [{"core": 0, "loop": 10, "ops": [{"op":"store","var":"x","value":9}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final["x"] != 9 {
+		t.Fatalf("x = %d", res.Final["x"])
+	}
+}

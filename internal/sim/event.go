@@ -1,0 +1,38 @@
+package sim
+
+import "armbar/internal/topo"
+
+// event is a scheduled store commit: at time, core's buffered store
+// (entry sbSeq in its store buffer) becomes globally visible.
+type event struct {
+	time  float64
+	seq   uint64 // global tie-breaker for determinism
+	t     *Thread
+	core  topo.CoreID
+	sbSeq uint64
+	addr  uint64
+	value uint64
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,306 @@
+// Package sim is an execution-driven, discrete-event simulator of an
+// ARM-style weakly-ordered multiprocessor. Simulated threads are
+// ordinary Go closures running against a *Thread handle; every memory
+// access, barrier, or batch of local work performs a rendezvous with
+// the machine's scheduler, which services the runnable thread with the
+// smallest virtual time. Given one seed, a run is fully deterministic.
+//
+// The model implements the mechanisms the paper identifies as the
+// sources of barrier cost on real ARM silicon:
+//
+//   - per-core bounded store buffers with non-FIFO drain (WMM mode) or
+//     forced in-order drain (TSO mode);
+//   - a coherence directory where lines ping-pong between cores, making
+//     accesses remote memory references (RMRs) with distance-dependent
+//     latency;
+//   - delayed invalidation processing, so loads can observe stale values
+//     until an ordering point (the observable face of load reordering);
+//   - ACE barrier transactions: DMB waits for outstanding snoops plus a
+//     round trip to the bi-section boundary spanned by the communicating
+//     cores, DSB always pays the trip to the domain boundary.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"armbar/internal/ace"
+	"armbar/internal/mesi"
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+// Mode selects the memory consistency model being simulated.
+type Mode int
+
+const (
+	// WMM is the ARM weakly-ordered memory model.
+	WMM Mode = iota
+	// TSO is total store order (x86-like): FIFO store buffer with
+	// forwarding, no stale reads.
+	TSO
+)
+
+func (m Mode) String() string {
+	if m == TSO {
+		return "TSO"
+	}
+	return "WMM"
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	Plat *platform.Platform
+	Mode Mode
+	Seed int64
+	// MaxTime aborts the run (with a panic describing the stuck state)
+	// when any thread's virtual time exceeds it. Zero means the default
+	// of 50e9 cycles.
+	MaxTime float64
+}
+
+// Stats aggregates machine-wide counters for one run.
+type Stats struct {
+	Loads         uint64
+	Stores        uint64
+	Hits          uint64
+	Misses        uint64
+	StaleReads    uint64
+	RMRStores     uint64
+	BarrierStalls float64 // total cycles threads spent blocked in barriers
+	MemTxns       uint64
+	SyncTxns      uint64
+}
+
+// Machine is one simulated multiprocessor run.
+type Machine struct {
+	cfg  Config
+	sys  *topo.System
+	cost *platform.CostModel
+	dir  *mesi.Directory
+	fab  *ace.Fabric
+	rng  *rand.Rand
+
+	threads []*Thread
+	span    topo.Distance // widest distance among spawned threads' cores
+
+	events  eventHeap
+	eventSq uint64
+
+	reqCh   chan *request
+	pending []*request // index by thread id
+	alive   int
+	started bool
+	done    bool
+
+	nextAddr uint64
+	stats    Stats
+	now      float64 // time of the last processed operation
+	tracer   Tracer
+}
+
+// New creates a machine for the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Plat == nil {
+		panic("sim: Config.Plat is required")
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 50e9
+	}
+	m := &Machine{
+		cfg:      cfg,
+		sys:      cfg.Plat.Sys,
+		cost:     &cfg.Plat.Cost,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		reqCh:    make(chan *request),
+		nextAddr: 1 << mesi.LineShift, // keep address 0 unused
+	}
+	m.dir = mesi.NewDirectory(m.sys)
+	m.fab = ace.NewFabric(m.sys, m.cost)
+	return m
+}
+
+// Platform returns the platform the machine simulates.
+func (m *Machine) Platform() *platform.Platform { return m.cfg.Plat }
+
+// Mode returns the consistency model in effect.
+func (m *Machine) Mode() Mode { return m.cfg.Mode }
+
+// Directory exposes the coherence directory (read-only use intended).
+func (m *Machine) Directory() *mesi.Directory { return m.dir }
+
+// Alloc reserves n consecutive cache lines and returns the address of
+// the first line. Each line is 64 bytes; place at most eight 8-byte
+// variables per line, or use one line per variable to avoid false
+// sharing.
+func (m *Machine) Alloc(lines int) uint64 {
+	if lines <= 0 {
+		panic("sim: Alloc needs a positive line count")
+	}
+	a := m.nextAddr
+	m.nextAddr += uint64(lines) << mesi.LineShift
+	return a
+}
+
+// SetInitial initializes committed memory before the run starts.
+func (m *Machine) SetInitial(addr, v uint64) {
+	if m.started {
+		panic("sim: SetInitial after Run")
+	}
+	m.dir.SetInitial(addr, v)
+}
+
+// Spawn starts a simulated thread pinned to the given core running fn.
+// All Spawn calls must happen before Run.
+func (m *Machine) Spawn(core topo.CoreID, fn func(*Thread)) *Thread {
+	if m.started {
+		panic("sim: Spawn after Run")
+	}
+	if int(core) < 0 || int(core) >= m.sys.NumCores() {
+		panic(fmt.Sprintf("sim: core %d out of range", core))
+	}
+	t := newThread(m, len(m.threads), core)
+	m.threads = append(m.threads, t)
+	m.pending = append(m.pending, nil)
+	go t.run(fn)
+	return t
+}
+
+// Run executes all spawned threads to completion and returns the final
+// virtual time (the max over thread completion times), in cycles.
+func (m *Machine) Run() float64 {
+	if m.started {
+		panic("sim: Run called twice")
+	}
+	m.started = true
+	m.alive = len(m.threads)
+	// The communication span decides which bi-section boundary a DMB
+	// transaction must reach (Obs 5).
+	cores := make([]topo.CoreID, len(m.threads))
+	for i, t := range m.threads {
+		cores[i] = t.core
+	}
+	m.span = m.fab.Span(cores)
+
+	var finish float64
+	for m.alive > 0 {
+		// Make sure every live thread has a parked request so the
+		// min-time choice is deterministic.
+		need := 0
+		for _, t := range m.threads {
+			if !t.finished && m.pending[t.id] == nil {
+				need++
+			}
+		}
+		for i := 0; i < need; i++ {
+			r := <-m.reqCh
+			if r.kind == opDone {
+				r.t.finished = true
+				m.alive--
+				if r.t.now > finish {
+					finish = r.t.now
+				}
+				m.retireStores(r.t.now) // let its stores drain
+				i--
+				need--
+				if m.pending[r.t.id] != nil {
+					panic("sim: done with a parked request")
+				}
+				continue
+			}
+			m.pending[r.t.id] = r
+		}
+		if m.alive == 0 {
+			break
+		}
+		// Pick the runnable thread with the smallest virtual time.
+		var pick *request
+		for _, r := range m.pending {
+			if r == nil {
+				continue
+			}
+			if pick == nil || r.t.now < pick.t.now ||
+				(r.t.now == pick.t.now && r.t.id < pick.t.id) {
+				pick = r
+			}
+		}
+		if pick == nil {
+			panic("sim: no runnable thread")
+		}
+		if pick.t.now > m.cfg.MaxTime {
+			panic(m.stuckReport(pick.t))
+		}
+		if !m.process(pick) {
+			// The op only advanced this thread's clock (waiting for its
+			// own store buffer); it stays parked and retries once it is
+			// the minimum again, so commits apply in global time order.
+			continue
+		}
+		m.pending[pick.t.id] = nil
+		pick.reply <- pick.result
+	}
+	// Drain every remaining commit so directory state is final.
+	for len(m.events) > 0 {
+		ev := heap.Pop(&m.events).(*event)
+		if ev.time > finish {
+			finish = ev.time
+		}
+		m.apply(ev)
+	}
+	m.done = true
+	m.stats.MemTxns = m.fab.MemTxns
+	m.stats.SyncTxns = m.fab.SyncTxns
+	m.now = finish
+	return finish
+}
+
+// Stats returns the counters accumulated so far (complete after Run).
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Seconds converts a cycle count on this machine to seconds.
+func (m *Machine) Seconds(cycles float64) float64 {
+	return cycles / (m.cost.FreqGHz * 1e9)
+}
+
+// retireStores applies all commit events scheduled at or before t.
+func (m *Machine) retireStores(t float64) {
+	for len(m.events) > 0 && m.events[0].time <= t {
+		m.apply(heap.Pop(&m.events).(*event))
+	}
+}
+
+func (m *Machine) apply(ev *event) {
+	m.dir.CommitStore(ev.core, ev.addr, ev.value, ev.time, m.invProc())
+	ev.t.buf.Remove(ev.sbSeq)
+	m.emit(ev.t, TraceCommit, ev.addr, ev.time, ev.time, "")
+}
+
+// invProc draws how long remote holders keep serving a stale copy
+// after a commit: invalidation queues are processed at unpredictable
+// points within the window (zero under TSO).
+func (m *Machine) invProc() float64 {
+	if m.cfg.Mode == TSO {
+		return 0
+	}
+	return m.rng.Float64() * m.cost.InvalidationDelay
+}
+
+func (m *Machine) schedule(ev *event) {
+	m.eventSq++
+	ev.seq = m.eventSq
+	heap.Push(&m.events, ev)
+}
+
+func (m *Machine) stuckReport(t *Thread) string {
+	var ids []int
+	for _, th := range m.threads {
+		if !th.finished {
+			ids = append(ids, th.id)
+		}
+	}
+	sort.Ints(ids)
+	return fmt.Sprintf("sim: watchdog: thread %d (core %d) exceeded MaxTime=%g cycles; live threads %v — likely an unsatisfiable spin loop",
+		t.id, t.core, m.cfg.MaxTime, ids)
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+func TestTSOStoresCommitInOrder(t *testing.T) {
+	// In TSO mode a writer's stores become visible in program order: a
+	// reader that sees the later store must see the earlier one.
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: TSO, Seed: 5})
+	a := m.Alloc(1)
+	b := m.Alloc(1)
+	violated := false
+	m.Spawn(0, func(th *Thread) {
+		for i := uint64(1); i <= 200; i++ {
+			th.Store(a, i)
+			th.Store(b, i)
+		}
+	})
+	m.Spawn(4, func(th *Thread) {
+		for i := 0; i < 400; i++ {
+			vb := th.Load(b)
+			va := th.Load(a)
+			if va < vb { // saw b=i without a=i
+				violated = true
+			}
+		}
+	})
+	m.Run()
+	if violated {
+		t.Fatal("TSO must keep store order observable")
+	}
+}
+
+func TestRMWAtomicUnderContention(t *testing.T) {
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 6})
+	ctr := m.Alloc(1)
+	const threads, per = 8, 150
+	for i := 0; i < threads; i++ {
+		m.Spawn(topo.CoreID(i*4), func(th *Thread) {
+			for j := 0; j < per; j++ {
+				th.FetchAdd(ctr, 1)
+			}
+		})
+	}
+	m.Run()
+	if got := m.Directory().Committed(ctr); got != threads*per {
+		t.Fatalf("FetchAdd lost updates: %d, want %d", got, threads*per)
+	}
+}
+
+func TestSwapReturnsPreviousValueChain(t *testing.T) {
+	// Property: a chain of swaps hands each thread the value the
+	// previous swap stored — nothing lost, nothing duplicated.
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 7})
+	slot := m.Alloc(1)
+	const threads, per = 6, 100
+	seen := make([]map[uint64]bool, threads)
+	for i := 0; i < threads; i++ {
+		i := i
+		seen[i] = make(map[uint64]bool)
+		m.Spawn(topo.CoreID(i*8), func(th *Thread) {
+			for j := 0; j < per; j++ {
+				token := uint64(i*per+j) + 1
+				old := th.Swap(slot, token)
+				seen[i][old] = true
+			}
+		})
+	}
+	m.Run()
+	all := make(map[uint64]int)
+	for _, s := range seen {
+		for v := range s {
+			all[v]++
+		}
+	}
+	for v, n := range all {
+		if n > 1 {
+			t.Fatalf("token %d observed by %d swaps; swaps must be atomic", v, n)
+		}
+	}
+	// Every token except the final resident was observed exactly once
+	// (plus the initial zero).
+	final := m.Directory().Committed(slot)
+	missing := 0
+	for tok := uint64(1); tok <= threads*per; tok++ {
+		if tok != final && all[tok] == 0 {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d swap tokens vanished", missing)
+	}
+}
+
+func TestCASOnlySucceedsOnMatch(t *testing.T) {
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 8})
+	a := m.Alloc(1)
+	m.SetInitial(a, 10)
+	var r1, r2, r3 bool
+	m.Spawn(0, func(th *Thread) {
+		r1 = th.CompareAndSwap(a, 10, 20)
+		r2 = th.CompareAndSwap(a, 10, 30) // stale expectation
+		r3 = th.CompareAndSwap(a, 20, 40)
+	})
+	m.Run()
+	if !r1 || r2 || !r3 {
+		t.Fatalf("CAS results = %v %v %v, want true false true", r1, r2, r3)
+	}
+	if got := m.Directory().Committed(a); got != 40 {
+		t.Fatalf("final = %d, want 40", got)
+	}
+}
+
+func TestPropertySingleThreadSequentialSemantics(t *testing.T) {
+	// Property: a single thread always reads back its latest write per
+	// address, under any op interleaving (forwarding + commits).
+	f := func(ops []uint16) bool {
+		m := New(Config{Plat: platform.RaspberryPi4(), Mode: WMM, Seed: 3})
+		base := m.Alloc(4)
+		ok := true
+		m.Spawn(0, func(th *Thread) {
+			last := map[uint64]uint64{}
+			for i, op := range ops {
+				if i > 400 {
+					break
+				}
+				addr := base + uint64(op%4)*64
+				switch {
+				case op%3 == 0:
+					v := uint64(op) + 1
+					th.Store(addr, v)
+					last[addr] = v
+				case op%7 == 0:
+					th.Barrier(isa.DMBFull)
+				default:
+					got := th.Load(addr)
+					if want, okL := last[addr]; okL && got != want {
+						ok = false
+					}
+				}
+			}
+		})
+		m.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkAndNopsAdvanceTime(t *testing.T) {
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 1})
+	var t1, t2 float64
+	m.Spawn(0, func(th *Thread) {
+		th.Nops(300)
+		t1 = th.Now()
+		th.Work(500)
+		t2 = th.Now()
+	})
+	m.Run()
+	if t1 != 100 { // 300 nops at width 3
+		t.Errorf("Nops(300) advanced to %v, want 100", t1)
+	}
+	if t2 != 600 {
+		t.Errorf("Work(500) advanced to %v, want 600", t2)
+	}
+}
+
+func TestAllocDistinctLines(t *testing.T) {
+	m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 1})
+	a := m.Alloc(2)
+	b := m.Alloc(1)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatal("allocations must be line-aligned")
+	}
+	if b < a+128 {
+		t.Fatal("allocations must not overlap")
+	}
+}
+
+func TestLDAPRKeepsMLPAcrossAcquire(t *testing.T) {
+	// The RCpc acquire must order later reads (no stale values) while
+	// letting an independent following miss overlap the acquiring load
+	// — so a chain of LDAPR+load is faster than LDAR+load but equally
+	// ordered.
+	run := func(acquirePC bool) float64 {
+		m := New(Config{Plat: platform.Kunpeng916(), Mode: WMM, Seed: 21})
+		a := m.Alloc(1)
+		b := m.Alloc(1)
+		peerA := m.Alloc(1)
+		m.Spawn(0, func(th *Thread) {
+			for i := 0; i < 400; i++ {
+				if acquirePC {
+					th.LoadAcquirePC(a)
+				} else {
+					th.LoadAcquire(a)
+				}
+				th.Load(b)
+			}
+		})
+		m.Spawn(32, func(th *Thread) {
+			for i := 0; i < 400; i++ {
+				th.Store(peerA, uint64(i))
+				th.Store(a, uint64(i))
+				th.Store(b, uint64(i))
+				th.Nops(20)
+			}
+		})
+		return m.Run()
+	}
+	ldar := run(false)
+	ldapr := run(true)
+	if ldapr > ldar {
+		t.Errorf("LDAPR chain (%g cycles) should not be slower than LDAR (%g)", ldapr, ldar)
+	}
+}

@@ -1,0 +1,91 @@
+package topo
+
+import "testing"
+
+func build() *System {
+	s := New()
+	s.AddCluster(0, Big, 4)    // cores 0-3
+	s.AddCluster(0, Little, 4) // cores 4-7
+	s.AddCluster(1, Big, 4)    // cores 8-11
+	return s
+}
+
+func TestCounts(t *testing.T) {
+	s := build()
+	if s.NumCores() != 12 {
+		t.Errorf("NumCores = %d, want 12", s.NumCores())
+	}
+	if s.NumClusters() != 3 {
+		t.Errorf("NumClusters = %d, want 3", s.NumClusters())
+	}
+	if s.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", s.NumNodes())
+	}
+}
+
+func TestMembership(t *testing.T) {
+	s := build()
+	if s.Cluster(5) != 1 {
+		t.Errorf("Cluster(5) = %d, want 1", s.Cluster(5))
+	}
+	if s.Node(9) != 1 {
+		t.Errorf("Node(9) = %d, want 1", s.Node(9))
+	}
+	if s.Class(5) != Little {
+		t.Errorf("Class(5) = %v, want little", s.Class(5))
+	}
+	if got := len(s.CoresOfClass(Big)); got != 8 {
+		t.Errorf("big cores = %d, want 8", got)
+	}
+	if got := len(s.NodeCores(0)); got != 8 {
+		t.Errorf("node-0 cores = %d, want 8", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	s := build()
+	cases := []struct {
+		a, b CoreID
+		want Distance
+	}{
+		{0, 0, SameCore},
+		{0, 3, SameCluster},
+		{0, 4, SameNode},
+		{0, 8, CrossNode},
+		{4, 11, CrossNode},
+	}
+	for _, c := range cases {
+		if got := s.DistanceBetween(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry.
+	for _, c := range cases {
+		if s.DistanceBetween(c.a, c.b) != s.DistanceBetween(c.b, c.a) {
+			t.Errorf("distance not symmetric for (%d,%d)", c.a, c.b)
+		}
+	}
+}
+
+func TestDistanceOrdering(t *testing.T) {
+	if !(SameCore < SameCluster && SameCluster < SameNode && SameNode < CrossNode) {
+		t.Fatal("Distance constants must be ordered by remoteness")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	s := build()
+	mustPanic(t, func() { s.Cluster(99) })
+	mustPanic(t, func() { s.Cluster(-1) })
+	mustPanic(t, func() { New().AddCluster(0, Big, 0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

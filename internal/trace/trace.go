@@ -1,0 +1,204 @@
+// Package trace records and renders simulator event streams: a bounded
+// in-memory recorder implementing sim.Tracer, a per-kind/per-thread
+// summary, and a Chrome-trace (about://tracing, Perfetto) JSON
+// exporter for visual inspection of barrier stalls and cache-line
+// ping-pong.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"armbar/internal/sim"
+)
+
+// Recorder collects events up to a cap (0 = unlimited). It implements
+// sim.Tracer.
+type Recorder struct {
+	Cap     int
+	events  []sim.TraceEvent
+	dropped int
+}
+
+// NewRecorder returns a recorder keeping at most capacity events
+// (0 = unlimited).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{Cap: capacity}
+}
+
+// Event implements sim.Tracer.
+func (r *Recorder) Event(ev sim.TraceEvent) {
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in arrival order.
+func (r *Recorder) Events() []sim.TraceEvent { return r.events }
+
+// Dropped reports how many events exceeded the cap.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Summary aggregates a recording.
+type Summary struct {
+	PerKind   map[sim.TraceKind]KindStats
+	PerThread map[int]ThreadStats
+}
+
+// KindStats is the aggregate for one operation kind.
+type KindStats struct {
+	Count  int
+	Cycles float64
+}
+
+// ThreadStats is the aggregate for one thread.
+type ThreadStats struct {
+	Ops          int
+	Cycles       float64
+	BarrierStall float64
+}
+
+// Summarize folds the recording into totals.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{
+		PerKind:   make(map[sim.TraceKind]KindStats),
+		PerThread: make(map[int]ThreadStats),
+	}
+	for _, ev := range r.events {
+		d := ev.End - ev.Start
+		k := s.PerKind[ev.Kind]
+		k.Count++
+		k.Cycles += d
+		s.PerKind[ev.Kind] = k
+		t := s.PerThread[ev.Thread]
+		if ev.Kind != sim.TraceCommit {
+			t.Ops++
+			t.Cycles += d
+		}
+		if ev.Kind == sim.TraceBarrier {
+			t.BarrierStall += d
+		}
+		s.PerThread[ev.Thread] = t
+	}
+	return s
+}
+
+// String renders the summary as text.
+func (s Summary) String() string {
+	var b strings.Builder
+	b.WriteString("per-kind:\n")
+	kinds := make([]int, 0, len(s.PerKind))
+	for k := range s.PerKind {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		ks := s.PerKind[sim.TraceKind(k)]
+		fmt.Fprintf(&b, "  %-8s %8d ops %12.1f cycles\n", sim.TraceKind(k), ks.Count, ks.Cycles)
+	}
+	b.WriteString("per-thread:\n")
+	ths := make([]int, 0, len(s.PerThread))
+	for t := range s.PerThread {
+		ths = append(ths, t)
+	}
+	sort.Ints(ths)
+	for _, t := range ths {
+		ts := s.PerThread[t]
+		fmt.Fprintf(&b, "  t%-3d %8d ops %12.1f cycles (%.1f stalled in barriers)\n",
+			t, ts.Ops, ts.Cycles, ts.BarrierStall)
+	}
+	return b.String()
+}
+
+// chromeEvent is the Chrome trace "complete" event format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeJSON exports the recording in Chrome trace-event format
+// (load into Perfetto or chrome://tracing). Cycles map to microseconds
+// one-to-one so the UI's units read as cycles.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	out := make([]chromeEvent, 0, len(r.events))
+	for _, ev := range r.events {
+		name := ev.Kind.String()
+		if ev.Detail != "" {
+			name += ":" + ev.Detail
+		}
+		args := map[string]string{}
+		if ev.Addr != 0 {
+			args["addr"] = fmt.Sprintf("0x%x", ev.Addr)
+			args["line"] = fmt.Sprintf("%d", ev.Addr>>6)
+		}
+		dur := ev.End - ev.Start
+		if dur <= 0 {
+			dur = 0.01
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Cat:  ev.Kind.String(),
+			Ph:   "X",
+			Ts:   ev.Start,
+			Dur:  dur,
+			Pid:  0,
+			Tid:  ev.Thread,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// HotLines returns the n most-committed cache lines with their commit
+// counts — the ping-pong hot spots.
+func (r *Recorder) HotLines(n int) []struct {
+	Line    uint64
+	Commits int
+} {
+	counts := map[uint64]int{}
+	for _, ev := range r.events {
+		if ev.Kind == sim.TraceCommit {
+			counts[ev.Addr>>6]++
+		}
+	}
+	type lc struct {
+		Line    uint64
+		Commits int
+	}
+	all := make([]lc, 0, len(counts))
+	for l, c := range counts {
+		all = append(all, lc{l, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Commits != all[j].Commits {
+			return all[i].Commits > all[j].Commits
+		}
+		return all[i].Line < all[j].Line
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Line    uint64
+		Commits int
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Line    uint64
+			Commits int
+		}{all[i].Line, all[i].Commits}
+	}
+	return out
+}

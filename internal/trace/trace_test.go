@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+)
+
+func record(t *testing.T, capEvents int) *Recorder {
+	t.Helper()
+	rec := NewRecorder(capEvents)
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 3})
+	m.SetTracer(rec)
+	data := m.Alloc(1)
+	flag := m.Alloc(1)
+	m.Spawn(0, func(th *sim.Thread) {
+		for i := uint64(1); i <= 20; i++ {
+			th.Store(data, i)
+			th.Barrier(isa.DMBSt)
+			th.Store(flag, i)
+			th.Nops(10)
+		}
+	})
+	m.Spawn(32, func(th *sim.Thread) {
+		for i := uint64(1); i <= 20; i++ {
+			for th.Load(flag) < i {
+				th.Nops(4)
+			}
+			th.Barrier(isa.DMBLd)
+			th.Load(data)
+		}
+	})
+	m.Run()
+	return rec
+}
+
+func TestRecorderCapturesAllKinds(t *testing.T) {
+	rec := record(t, 0)
+	s := rec.Summarize()
+	for _, k := range []sim.TraceKind{sim.TraceLoad, sim.TraceStore, sim.TraceCommit,
+		sim.TraceBarrier, sim.TraceWork} {
+		if s.PerKind[k].Count == 0 {
+			t.Errorf("kind %v never recorded", k)
+		}
+	}
+	if s.PerKind[sim.TraceStore].Count != s.PerKind[sim.TraceCommit].Count {
+		t.Errorf("every store must commit: %d stores vs %d commits",
+			s.PerKind[sim.TraceStore].Count, s.PerKind[sim.TraceCommit].Count)
+	}
+	if len(s.PerThread) != 2 {
+		t.Errorf("want 2 threads in summary, got %d", len(s.PerThread))
+	}
+	if !strings.Contains(s.String(), "per-thread") {
+		t.Error("summary text incomplete")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := record(t, 10)
+	if len(rec.Events()) != 10 {
+		t.Fatalf("cap not honored: %d events", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("expected drops beyond the cap")
+	}
+}
+
+func TestChromeJSONWellFormed(t *testing.T) {
+	rec := record(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(rec.Events()) {
+		t.Fatalf("event count mismatch: %d vs %d", len(doc.TraceEvents), len(rec.Events()))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Fatalf("bad event %+v", ev)
+		}
+	}
+}
+
+func TestHotLinesFindPingPong(t *testing.T) {
+	rec := record(t, 0)
+	hot := rec.HotLines(2)
+	if len(hot) != 2 {
+		t.Fatalf("want 2 hot lines, got %d", len(hot))
+	}
+	if hot[0].Commits < 20 {
+		t.Errorf("hottest line should see the 20 data commits, got %d", hot[0].Commits)
+	}
+	if hot[0].Commits < hot[1].Commits {
+		t.Error("hot lines must be sorted by commits")
+	}
+}
+
+func TestTracingIsOptionalAndHarmless(t *testing.T) {
+	// The same run with and without a tracer must produce identical
+	// virtual times.
+	run := func(tr sim.Tracer) float64 {
+		m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 9})
+		if tr != nil {
+			m.SetTracer(tr)
+		}
+		a := m.Alloc(1)
+		m.Spawn(0, func(th *sim.Thread) {
+			for i := uint64(0); i < 50; i++ {
+				th.Store(a, i)
+				th.Barrier(isa.DMBFull)
+			}
+		})
+		return m.Run()
+	}
+	if run(nil) != run(NewRecorder(0)) {
+		t.Fatal("tracing changed simulation results")
+	}
+}
