@@ -1,0 +1,46 @@
+GO ?= go
+
+# The verify chain is what CI (and any contributor) runs before a
+# merge: full build, vet, the whole test suite, then the concurrency
+# packages again under the race detector. `-run 'Test'` keeps the race
+# pass on the (fast) unit tests of the pool and the core primitives.
+.PHONY: verify
+verify: build vet test race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race -run Test ./internal/runner ./internal/core
+
+# Full determinism sweep: every registered experiment, sequential vs
+# -par 8, two seeds. Minutes of wall clock; run before merging
+# simulator or runner perf work.
+.PHONY: determinism
+determinism:
+	ARMBAR_DETERMINISM_FULL=1 $(GO) test -run TestParallelOutputMatchesSequential -timeout 120m ./internal/figures
+
+# Simulator hot-path microbenchmarks (rendezvous, store commit, DMB).
+.PHONY: bench-sim
+bench-sim:
+	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB' -benchmem ./internal/sim
+
+# Regenerate the committed BENCH_sim.json snapshot from bench-sim.
+.PHONY: bench-snapshot
+bench-snapshot:
+	./scripts/bench_snapshot.sh
+
+# One full-suite regeneration through the parallel runner.
+.PHONY: bench-all
+bench-all:
+	$(GO) test -run '^$$' -bench BenchmarkRunnerAll -benchtime 1x .

@@ -13,12 +13,43 @@ import (
 
 	"armbar/internal/figures"
 	"armbar/internal/report"
+	"armbar/internal/runner"
 )
+
+// benchPool fans every benchmark's experiment cells out over
+// GOMAXPROCS workers, exactly as `armbar -par` does. It lives for the
+// whole benchmark process.
+var benchPool = runner.New(0)
 
 // quick returns the scaled-down options used for bench iterations,
 // varying the seed per iteration so results are not trivially cached.
 func quick(i int) figures.Options {
-	return figures.Options{Quick: true, Seed: int64(100 + i)}
+	return figures.Options{Quick: true, Seed: int64(100 + i), Pool: benchPool}
+}
+
+// BenchmarkRunnerAll regenerates every registered experiment through
+// the parallel runner — the `armbar all -quick` workload as one
+// benchmark, so the experiment engine's wall-clock trajectory is
+// tracked alongside the per-figure shape metrics below. Run with
+// -benchtime 1x; one iteration is a full quick regeneration.
+func BenchmarkRunnerAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := quick(i)
+		tables := 0
+		for _, exp := range figures.Registry() {
+			ts := exp.Gen(o)
+			if len(ts) != exp.Tables {
+				b.Fatalf("%s emitted %d tables, registry says %d", exp.Name, len(ts), exp.Tables)
+			}
+			for _, t := range ts {
+				if t.Rows() == 0 {
+					b.Fatalf("%s produced an empty table", exp.Name)
+				}
+			}
+			tables += len(ts)
+		}
+		b.ReportMetric(float64(tables), "tables")
+	}
 }
 
 // cell parses a float cell of t.

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	armbar [-quick] [-seed N] [-csv] <experiment> [...]
+//	armbar [-quick] [-seed N] [-par N] [-csv] <experiment> [...]
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
 // fig6c fig6d fig7a fig7b fig7c fig8a fig8b fig8c fig8d platforms all.
+//
+// -par N fans each experiment's independent simulation cells out over
+// N workers (default GOMAXPROCS; 1 forces the inline sequential path).
+// Output is byte-identical at every -par value and seed: parallelism
+// only changes when a cell computes, never what it computes.
 package main
 
 import (
@@ -14,12 +19,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"runtime"
 	"strings"
+	"time"
 
-	"armbar/internal/ablation"
 	"armbar/internal/figures"
-	"armbar/internal/report"
+	"armbar/internal/runner"
 )
 
 var (
@@ -28,79 +33,69 @@ var (
 	csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	md     = flag.Bool("md", false, "emit markdown instead of aligned text")
 	outDir = flag.String("o", "", "also write each table as a CSV file into this directory")
+	par    = flag.Int("par", runtime.GOMAXPROCS(0),
+		"worker count for experiment cells (1 = sequential, 0 = GOMAXPROCS)")
+	times = flag.Bool("times", true, "report per-experiment wall time on stderr")
 )
-
-// experiments maps names to generator functions.
-var experiments = map[string]func(figures.Options) []*report.Table{
-	"table1":  single(figures.Table1),
-	"table2":  single(figures.Table2),
-	"table3":  single(figures.Table3),
-	"fig2":    figures.Fig2,
-	"fig3":    figures.Fig3,
-	"fig4":    single(figures.Fig4),
-	"fig5":    single(figures.Fig5),
-	"fig6a":   single(figures.Fig6a),
-	"fig6b":   single(figures.Fig6b),
-	"fig6c":   single(figures.Fig6c),
-	"fig6d":   single(figures.Fig6d),
-	"fig7a":   single(figures.Fig7a),
-	"fig7b":   single(figures.Fig7b),
-	"fig7c":   single(figures.Fig7c),
-	"fig8a":   single(figures.Fig8a),
-	"fig8b":   single(figures.Fig8b),
-	"fig8c":   single(figures.Fig8c),
-	"fig8d":   single(figures.Fig8d),
-	"inplace": single(figures.InPlaceLocks),
-	"mpmc":    single(figures.MPMCFanIn),
-	"tso":     single(figures.TSOPorting),
-	"seqlock": single(figures.SeqlockVsPilot),
-	"a64":     single(figures.A64CrossCheck),
-	"ablation": func(o figures.Options) []*report.Table {
-		return ablation.All(ablation.Options{Quick: o.Quick, Seed: o.Seed})
-	},
-}
-
-func single(f func(figures.Options) *report.Table) func(figures.Options) []*report.Table {
-	return func(o figures.Options) []*report.Table { return []*report.Table{f(o)} }
-}
-
-func names() []string {
-	out := make([]string, 0, len(experiments))
-	for k := range experiments {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
 
 func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-csv] <experiment> [...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(names(), " "))
+		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(figures.Names(), " "))
 		os.Exit(2)
 	}
+	for _, a := range args {
+		// flag stops at the first experiment name; a stray "-quick" after
+		// it would otherwise be silently dropped (and regenerate at full
+		// scale), so reject flag-looking positionals outright.
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(os.Stderr, "armbar: flag %q after experiment names; flags must come first\n", a)
+			os.Exit(2)
+		}
+	}
 	if args[0] == "all" {
-		args = names()
+		args = figures.Names()
 	} else if args[0] == "platforms" {
 		args = []string{"table2"}
 	}
-	o := figures.Options{Quick: *quick, Seed: *seed}
+
+	// One pool for the whole invocation; -par 1 keeps cells inline on
+	// this goroutine so the sequential baseline spawns no workers.
+	var pool *runner.Pool
+	if *par != 1 {
+		pool = runner.New(*par)
+		defer pool.Close()
+	}
+	o := figures.Options{Quick: *quick, Seed: *seed, Pool: pool}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "armbar: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	total := time.Duration(0)
 	for _, name := range args {
-		gen, ok := experiments[name]
+		exp, ok := figures.ByName(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "armbar: unknown experiment %q (have: %s)\n",
-				name, strings.Join(names(), " "))
+				name, strings.Join(figures.Names(), " "))
 			os.Exit(2)
 		}
-		tables := gen(o)
+		start := time.Now()
+		tables := exp.Gen(o)
+		elapsed := time.Since(start)
+		total += elapsed
+		if *times {
+			fmt.Fprintf(os.Stderr, "# %-8s %2d table(s) in %v\n", name, len(tables), elapsed.Round(time.Millisecond))
+		}
+		if len(tables) != exp.Tables {
+			fmt.Fprintf(os.Stderr, "armbar: %s emitted %d tables, registry says %d\n",
+				name, len(tables), exp.Tables)
+			os.Exit(1)
+		}
 		for i, t := range tables {
 			switch {
 			case *csv:
@@ -121,5 +116,8 @@ func main() {
 				}
 			}
 		}
+	}
+	if *times {
+		fmt.Fprintf(os.Stderr, "# total    %v (par=%d)\n", total.Round(time.Millisecond), *par)
 	}
 }

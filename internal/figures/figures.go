@@ -3,6 +3,13 @@
 // function returns report tables with the same rows/series the paper
 // plots; cmd/armbar prints them and bench_test.go wraps them in
 // testing.B benchmarks.
+//
+// Every generator decomposes its figure into independent cells — one
+// (or a few) sim.Machine per platform × data-point — and evaluates
+// them through the runner pool carried in Options. Results are merged
+// back in canonical order, so output is byte-identical whether the
+// pool is nil (inline, sequential) or GOMAXPROCS-wide; see
+// internal/runner and its determinism test.
 package figures
 
 import (
@@ -18,15 +25,19 @@ import (
 	"armbar/internal/pc"
 	"armbar/internal/platform"
 	"armbar/internal/report"
+	"armbar/internal/runner"
 	"armbar/internal/sim"
 	"armbar/internal/topo"
 )
 
 // Options scales the experiments: Quick shrinks iteration counts for
-// fast smoke runs; the zero value is the full configuration.
+// fast smoke runs; the zero value is the full configuration. Pool is
+// the worker pool experiment cells fan out over; nil runs every cell
+// inline on the caller's goroutine (the sequential baseline).
 type Options struct {
 	Quick bool
 	Seed  int64
+	Pool  *runner.Pool
 }
 
 func (o Options) seed() int64 {
@@ -102,8 +113,12 @@ func Table1(o Options) *report.Table {
 		"Model", "Outcome local=23", "Outcome local!=23", "Anomaly")
 	p := platform.Kunpeng916()
 	test := litmus.MessagePassing(isa.None, isa.None)
-	for _, mode := range []sim.Mode{sim.TSO, sim.WMM} {
-		res := litmus.Run(p, mode, test, runs, o.seed())
+	modes := []sim.Mode{sim.TSO, sim.WMM}
+	results := runner.Map(o.Pool, len(modes), func(i int) *litmus.Result {
+		return litmus.Run(p, modes[i], test, runs, o.seed())
+	})
+	for i, mode := range modes {
+		res := results[i]
 		bad := res.Count["local=0"]
 		verdict := "forbidden"
 		if bad > 0 {
@@ -144,26 +159,39 @@ func Table3(Options) *report.Table {
 	return t
 }
 
-// Fig2 is the intrinsic-overhead study: one table per platform.
+// Fig2 is the intrinsic-overhead study: one table per platform. Cells
+// span every (binding, variant, nop-count) triple so the whole figure
+// fans out at once.
 func Fig2(o Options) []*report.Table {
 	iters := o.scale(1500, 300)
-	var out []*report.Table
+	var bindings []pcBinding
 	for _, b := range pcBindings() {
 		if b.Label == "Kunpeng916 Cross Nodes" {
 			continue // the paper's Fig 2 uses one binding per platform
 		}
-		nops := []int{10, 30, 50}
+		bindings = append(bindings, b)
+	}
+	nops := []int{10, 30, 50}
+	variants := absmodel.Figure2Variants()
+	nV, nN := len(variants), len(nops)
+	vals := runner.Map(o.Pool, len(bindings)*nV*nN, func(k int) float64 {
+		b := bindings[k/(nV*nN)]
+		v := variants[k/nN%nV]
+		n := nops[k%nN]
+		return absmodel.Run(absmodel.Config{
+			Plat: b.Plat, Cores: [2]topo.CoreID{b.Prod, b.Cons},
+			Pattern: absmodel.NoMem, Variant: v, Nops: n,
+			Iters: iters, Seed: o.seed(),
+		}).Throughput()
+	})
+	var out []*report.Table
+	for bi, b := range bindings {
 		t := report.New(fmt.Sprintf("Figure 2: intrinsic overhead — %s (10^6 loops/s)", b.Label),
 			append([]string{"Barrier"}, nopCols(nops)...)...)
-		for _, v := range absmodel.Figure2Variants() {
+		for vi, v := range variants {
 			cells := []any{v.Name()}
-			for _, n := range nops {
-				r := absmodel.Run(absmodel.Config{
-					Plat: b.Plat, Cores: [2]topo.CoreID{b.Prod, b.Cons},
-					Pattern: absmodel.NoMem, Variant: v, Nops: n,
-					Iters: iters, Seed: o.seed(),
-				})
-				cells = append(cells, r.Throughput()/1e6)
+			for ni := range nops {
+				cells = append(cells, vals[(bi*nV+vi)*nN+ni]/1e6)
 			}
 			t.Row(cells...)
 		}
@@ -208,18 +236,27 @@ func fig3Bindings() []fig3Binding {
 // Fig3 is the two-store model under every binding.
 func Fig3(o Options) []*report.Table {
 	iters := o.scale(1500, 300)
+	bindings := fig3Bindings()
+	variants := absmodel.Figure3Variants()
+	nV := len(variants)
+	nN := len(bindings[0].Nops) // all subfigures sweep three paddings
+	vals := runner.Map(o.Pool, len(bindings)*nV*nN, func(k int) float64 {
+		b := bindings[k/(nV*nN)]
+		v := variants[k/nN%nV]
+		n := b.Nops[k%nN]
+		return absmodel.Run(absmodel.Config{
+			Plat: b.Plat, Cores: b.Cores, Pattern: absmodel.TwoStores,
+			Variant: v, Nops: n, Iters: iters, Seed: o.seed(),
+		}).Throughput()
+	})
 	var out []*report.Table
-	for _, b := range fig3Bindings() {
+	for bi, b := range bindings {
 		t := report.New(fmt.Sprintf("Figure 3%s: two stores (10^6 loops/s)", b.Label),
 			append([]string{"Barrier"}, nopCols(b.Nops)...)...)
-		for _, v := range absmodel.Figure3Variants() {
+		for vi, v := range variants {
 			cells := []any{v.Name()}
-			for _, n := range b.Nops {
-				r := absmodel.Run(absmodel.Config{
-					Plat: b.Plat, Cores: b.Cores, Pattern: absmodel.TwoStores,
-					Variant: v, Nops: n, Iters: iters, Seed: o.seed(),
-				})
-				cells = append(cells, r.Throughput()/1e6)
+			for ni := range b.Nops {
+				cells = append(cells, vals[(bi*nV+vi)*nN+ni]/1e6)
 			}
 			t.Row(cells...)
 		}
@@ -232,12 +269,28 @@ func Fig3(o Options) []*report.Table {
 func Fig4(o Options) *report.Table {
 	t := report.New("Figure 4: tipping point (DMB full-1 ≈ ½ × DMB full-2)",
 		"Binding", "Tipping nops", "full-1 : full-2")
+	type bind struct {
+		label string
+		plat  *platform.Platform
+		cores [2]topo.CoreID
+	}
 	kpS, same := kunpengSame()
 	kpC, cross := kunpengCross()
-	n1, r1 := absmodel.TippingPoint(kpS, same, 0.95, o.seed())
-	t.Row("Kunpeng916 same node", n1, r1)
-	n2, r2 := absmodel.TippingPoint(kpC, cross, 0.95, o.seed())
-	t.Row("Kunpeng916 cross nodes", n2, r2)
+	binds := []bind{
+		{"Kunpeng916 same node", kpS, same},
+		{"Kunpeng916 cross nodes", kpC, cross},
+	}
+	type tip struct {
+		nops  int
+		ratio float64
+	}
+	tips := runner.Map(o.Pool, len(binds), func(i int) tip {
+		n, r := absmodel.TippingPoint(binds[i].plat, binds[i].cores, 0.95, o.seed())
+		return tip{n, r}
+	})
+	for i, b := range binds {
+		t.Row(b.label, tips[i].nops, tips[i].ratio)
+	}
 	t.Note = "paper: ratio 17.90/31.01 ≈ 3.38/6.54 ≈ 1/2 at 150 (same node) / 700 (cross) nops"
 	return t
 }
@@ -247,16 +300,19 @@ func Fig5(o Options) *report.Table {
 	iters := o.scale(1500, 300)
 	p, cross := kunpengCross()
 	nops := []int{300, 500}
+	variants := absmodel.Figure5Variants()
 	t := report.New("Figure 5: load+store, Kunpeng916 cross nodes (10^6 loops/s)",
 		append([]string{"Approach"}, nopCols(nops)...)...)
-	for _, v := range absmodel.Figure5Variants() {
+	vals := runner.Grid(o.Pool, len(variants), len(nops), func(r, c int) float64 {
+		return absmodel.Run(absmodel.Config{
+			Plat: p, Cores: cross, Pattern: absmodel.LoadStore,
+			Variant: variants[r], Nops: nops[c], Iters: iters, Seed: o.seed(),
+		}).Throughput()
+	})
+	for vi, v := range variants {
 		cells := []any{v.Name()}
-		for _, n := range nops {
-			r := absmodel.Run(absmodel.Config{
-				Plat: p, Cores: cross, Pattern: absmodel.LoadStore,
-				Variant: v, Nops: n, Iters: iters, Seed: o.seed(),
-			})
-			cells = append(cells, r.Throughput()/1e6)
+		for ni := range nops {
+			cells = append(cells, vals[vi][ni]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -274,17 +330,17 @@ func Fig6a(o Options) *report.Table {
 	}
 	cols = append(cols, "Ideal")
 	t := report.New("Figure 6a: producer-consumer normalized throughput", cols...)
-	for _, b := range pcBindings() {
-		var base float64
+	bindings := pcBindings()
+	vals := runner.Grid(o.Pool, len(bindings), len(combos), func(r, c int) float64 {
+		b := bindings[r]
+		return pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
+			Mode: pc.Classic, Combo: combos[c], Messages: msgs, Seed: o.seed()}).Throughput()
+	})
+	for bi, b := range bindings {
+		base := vals[bi][0]
 		cells := []any{b.Label}
-		for i, c := range combos {
-			r := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-				Mode: pc.Classic, Combo: c, Messages: msgs, Seed: o.seed()})
-			v := r.Throughput()
-			if i == 0 {
-				base = v
-			}
-			cells = append(cells, v/base)
+		for ci := range combos {
+			cells = append(cells, vals[bi][ci]/base)
 		}
 		t.Row(cells...)
 	}
@@ -297,15 +353,26 @@ func Fig6b(o Options) *report.Table {
 	t := report.New("Figure 6b: Pilot in producer-consumer (10^6 msgs/s)",
 		"Binding", "DMB ld - DMB st", "Theoretical", "Pilot", "Ideal", "Pilot gain")
 	best := pc.Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
-	for _, b := range pcBindings() {
-		orig := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Classic, Combo: best, Messages: msgs, Seed: o.seed()}).Throughput()
-		theo := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Theoretical, Combo: pc.Combo{Avail: isa.DMBLd}, Messages: msgs, Seed: o.seed()}).Throughput()
-		pil := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Pilot, Messages: msgs, Seed: o.seed()}).Throughput()
-		ideal := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Classic, Messages: msgs, Seed: o.seed()}).Throughput()
+	bindings := pcBindings()
+	// Columns: 0 = best combo, 1 = theoretical, 2 = pilot, 3 = ideal.
+	vals := runner.Grid(o.Pool, len(bindings), 4, func(r, c int) float64 {
+		b := bindings[r]
+		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
+			Messages: msgs, Seed: o.seed()}
+		switch c {
+		case 0:
+			cfg.Mode, cfg.Combo = pc.Classic, best
+		case 1:
+			cfg.Mode, cfg.Combo = pc.Theoretical, pc.Combo{Avail: isa.DMBLd}
+		case 2:
+			cfg.Mode = pc.Pilot
+		default:
+			cfg.Mode = pc.Classic
+		}
+		return pc.Run(cfg).Throughput()
+	})
+	for bi, b := range bindings {
+		orig, theo, pil, ideal := vals[bi][0], vals[bi][1], vals[bi][2], vals[bi][3]
 		t.Row(b.Label, orig/1e6, theo/1e6, pil/1e6, ideal/1e6,
 			fmt.Sprintf("+%.0f%%", (pil/orig-1)*100))
 	}
@@ -323,14 +390,27 @@ func Fig6c(o Options) *report.Table {
 	}
 	t := report.New("Figure 6c: Pilot speedup vs batched message size", cols...)
 	best := pc.Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
-	for _, b := range pcBindings() {
+	bindings := pcBindings()
+	nS := len(sizes)
+	// Cell layout: (binding × size) rows, columns 0 = classic best
+	// combo, 1 = Pilot.
+	vals := runner.Grid(o.Pool, len(bindings)*nS, 2, func(r, c int) float64 {
+		b := bindings[r/nS]
+		s := sizes[r%nS]
+		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
+			Messages: msgs, Batch: s, Seed: o.seed()}
+		if c == 0 {
+			cfg.Mode, cfg.Combo = pc.Classic, best
+		} else {
+			cfg.Mode = pc.Pilot
+		}
+		return pc.Run(cfg).Throughput()
+	})
+	for bi, b := range bindings {
 		cells := []any{b.Label}
-		for _, s := range sizes {
-			orig := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-				Mode: pc.Classic, Combo: best, Messages: msgs, Batch: s, Seed: o.seed()}).Throughput()
-			pil := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-				Mode: pc.Pilot, Messages: msgs, Batch: s, Seed: o.seed()}).Throughput()
-			cells = append(cells, pil/orig)
+		for si := range sizes {
+			row := vals[bi*nS+si]
+			cells = append(cells, row[1]/row[0])
 		}
 		t.Row(cells...)
 	}
@@ -342,13 +422,19 @@ func Fig6c(o Options) *report.Table {
 func Fig6d(o Options) *report.Table {
 	t := report.New("Figure 6d: dedup normalized compress speed",
 		"Workload", "Q", "RB", "RB-P")
-	for _, w := range dedup.Workloads() {
-		if o.Quick {
-			w.Chunks /= 4
+	workloads := dedup.Workloads()
+	if o.Quick {
+		for i := range workloads {
+			workloads[i].Chunks /= 4
 		}
-		q := dedup.Run(dedup.Config{Plat: platform.Kunpeng916(), Buffer: dedup.Q, W: w, Seed: o.seed()}).Throughput()
-		rb := dedup.Run(dedup.Config{Plat: platform.Kunpeng916(), Buffer: dedup.RB, W: w, Seed: o.seed()}).Throughput()
-		rbp := dedup.Run(dedup.Config{Plat: platform.Kunpeng916(), Buffer: dedup.RBP, W: w, Seed: o.seed()}).Throughput()
+	}
+	buffers := []dedup.Buffer{dedup.Q, dedup.RB, dedup.RBP}
+	vals := runner.Grid(o.Pool, len(workloads), len(buffers), func(r, c int) float64 {
+		return dedup.Run(dedup.Config{Plat: platform.Kunpeng916(), Buffer: buffers[c],
+			W: workloads[r], Seed: o.seed()}).Throughput()
+	})
+	for wi, w := range workloads {
+		q, rb, rbp := vals[wi][0], vals[wi][1], vals[wi][2]
 		t.Row(w.Name, 1.0, rb/q, rbp/q)
 	}
 	t.Note = "paper: RB sometimes below Q; RB-P ≈ +10% over Q"
@@ -360,19 +446,29 @@ func Fig7a(o Options) *report.Table {
 	ops := o.scale(300, 80)
 	t := report.New("Figure 7a: ticket lock, unlock barrier (normalized)",
 		"Platform", "Globals", "Normal", "Removed")
-	for _, p := range platform.All() {
+	plats := platform.All()
+	globals := []int{0, 1, 2}
+	nG := len(globals)
+	// Cell layout: (platform × globals) rows, columns 0 = normal
+	// unlock barrier, 1 = removed (dependency).
+	vals := runner.Grid(o.Pool, len(plats)*nG, 2, func(r, c int) float64 {
+		p := plats[r/nG]
 		threads := 12
 		if p.Sys.NumCores() <= 8 {
 			threads = 4
 		}
-		for _, g := range []int{0, 1, 2} {
-			n := locks.Bench(locks.BenchConfig{Plat: clonePlat(p), Kind: locks.Ticket,
-				Threads: threads, Ops: ops, Globals: g,
-				UnlockBarrier: isa.DMBSt, Seed: o.seed()}).Throughput()
-			r := locks.Bench(locks.BenchConfig{Plat: clonePlat(p), Kind: locks.Ticket,
-				Threads: threads, Ops: ops, Globals: g,
-				UnlockBarrier: isa.AddrDep, Seed: o.seed()}).Throughput()
-			t.Row(p.Name, g, 1.0, r/n)
+		bar := isa.DMBSt
+		if c == 1 {
+			bar = isa.AddrDep
+		}
+		return locks.Bench(locks.BenchConfig{Plat: clonePlat(p), Kind: locks.Ticket,
+			Threads: threads, Ops: ops, Globals: globals[r%nG],
+			UnlockBarrier: bar, Seed: o.seed()}).Throughput()
+	})
+	for pi, p := range plats {
+		for gi, g := range globals {
+			row := vals[pi*nG+gi]
+			t.Row(p.Name, g, 1.0, row[1]/row[0])
 		}
 	}
 	t.Note = "Removed = publication barrier replaced by a dependency; paper sees up to +23% at 2 globals"
@@ -402,18 +498,15 @@ func Fig7b(o Options) *report.Table {
 	}
 	t := report.New("Figure 7b: delegation lock barrier combos (normalized, FFWD, 1 global counter)",
 		"Combo", "FFWD", "DSMSynch")
-	var baseF, baseD float64
+	kinds := []locks.Kind{locks.FFWD, locks.DSMSynch}
+	vals := runner.Grid(o.Pool, len(combos), len(kinds), func(r, c int) float64 {
+		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[c],
+			Threads: o.threads(), Ops: ops, ServeBarriers: [2]isa.Barrier{combos[r].x, combos[r].y},
+			Seed: o.seed()}).Throughput()
+	})
+	baseF, baseD := vals[0][0], vals[0][1]
 	for i, c := range combos {
-		f := locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: locks.FFWD,
-			Threads: o.threads(), Ops: ops, ServeBarriers: [2]isa.Barrier{c.x, c.y},
-			Seed: o.seed()}).Throughput()
-		d := locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: locks.DSMSynch,
-			Threads: o.threads(), Ops: ops, ServeBarriers: [2]isa.Barrier{c.x, c.y},
-			Seed: o.seed()}).Throughput()
-		if i == 0 {
-			baseF, baseD = f, d
-		}
-		t.Row(c.label, f/baseF, d/baseD)
+		t.Row(c.label, vals[i][0]/baseF, vals[i][1]/baseD)
 	}
 	t.Note = "paper: weak X ≈ +20%; removing Y ≈ +22% more (close to Ideal); FFWD's batching softens both"
 	return t
@@ -428,13 +521,16 @@ func Fig7c(o Options) *report.Table {
 		cols = append(cols, fmt.Sprintf("%d nops", iv))
 	}
 	t := report.New("Figure 7c: lock throughput vs contention (10^6 CS/s)", cols...)
-	for _, k := range []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
-		locks.FFWD, locks.FFWDPilot} {
+	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
+		locks.FFWD, locks.FFWDPilot}
+	vals := runner.Grid(o.Pool, len(kinds), len(intervals), func(r, c int) float64 {
+		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[r],
+			Threads: o.threads(), Ops: ops, Interval: intervals[c], Seed: o.seed()}).Throughput()
+	})
+	for ki, k := range kinds {
 		cells := []any{k.String()}
-		for _, iv := range intervals {
-			v := locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: k,
-				Threads: o.threads(), Ops: ops, Interval: iv, Seed: o.seed()}).Throughput()
-			cells = append(cells, v/1e6)
+		for ii := range intervals {
+			cells = append(cells, vals[ki][ii]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -447,13 +543,17 @@ func Fig8a(o Options) *report.Table {
 	rounds := o.scale(60, 20)
 	t := report.New("Figure 8a: queue & stack (10^6 ops/s)",
 		"Structure", "Ticket", "DSynch", "DSynch-P", "FFWD", "FFWD-P")
-	for _, s := range []ds.Structure{ds.Queue, ds.Stack} {
+	structs := []ds.Structure{ds.Queue, ds.Stack}
+	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
+		locks.FFWD, locks.FFWDPilot}
+	vals := runner.Grid(o.Pool, len(structs), len(kinds), func(r, c int) float64 {
+		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[c], Struct: structs[r],
+			Threads: o.threads(), Rounds: rounds, Seed: o.seed()}).Throughput()
+	})
+	for si, s := range structs {
 		cells := []any{s.String()}
-		for _, k := range []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
-			locks.FFWD, locks.FFWDPilot} {
-			v := ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: k, Struct: s,
-				Threads: o.threads(), Rounds: rounds, Seed: o.seed()}).Throughput()
-			cells = append(cells, v/1e6)
+		for ki := range kinds {
+			cells = append(cells, vals[si][ki]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -473,13 +573,16 @@ func Fig8b(o Options) *report.Table {
 		cols = append(cols, fmt.Sprintf("%d", p))
 	}
 	t := report.New("Figure 8b: sorted linked list vs preload (10^6 ops/s)", cols...)
-	for _, k := range []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
-		locks.FFWD, locks.FFWDPilot} {
+	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
+		locks.FFWD, locks.FFWDPilot}
+	vals := runner.Grid(o.Pool, len(kinds), len(preloads), func(r, c int) float64 {
+		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[r], Struct: ds.List,
+			Threads: o.threads() / 2, Rounds: rounds, Preload: preloads[c], Seed: o.seed()}).Throughput()
+	})
+	for ki, k := range kinds {
 		cells := []any{k.String()}
-		for _, pl := range preloads {
-			v := ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: k, Struct: ds.List,
-				Threads: o.threads() / 2, Rounds: rounds, Preload: pl, Seed: o.seed()}).Throughput()
-			cells = append(cells, v/1e6)
+		for pi := range preloads {
+			cells = append(cells, vals[ki][pi]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -499,13 +602,17 @@ func Fig8c(o Options) *report.Table {
 		cols = append(cols, fmt.Sprintf("%d", b))
 	}
 	t := report.New("Figure 8c: hash table vs buckets (10^6 ops/s)", cols...)
-	for _, k := range []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
-		locks.FFWD, locks.FFWDPilot} {
+	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
+		locks.FFWD, locks.FFWDPilot}
+	vals := runner.Grid(o.Pool, len(kinds), len(buckets), func(r, c int) float64 {
+		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[r], Struct: ds.HashTable,
+			Threads: o.threads() / 2, Rounds: rounds, Preload: 512, Buckets: buckets[c],
+			Seed: o.seed()}).Throughput()
+	})
+	for ki, k := range kinds {
 		cells := []any{k.String()}
-		for _, b := range buckets {
-			v := ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: k, Struct: ds.HashTable,
-				Threads: o.threads() / 2, Rounds: rounds, Preload: 512, Buckets: b, Seed: o.seed()}).Throughput()
-			cells = append(cells, v/1e6)
+		for bi := range buckets {
+			cells = append(cells, vals[ki][bi]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -525,13 +632,16 @@ func InPlaceLocks(o Options) *report.Table {
 		cols = append(cols, fmt.Sprintf("%d nops", iv))
 	}
 	t := report.New("Extension: lock families vs contention (10^6 CS/s, Kunpeng916)", cols...)
-	for _, k := range []locks.Kind{locks.TAS, locks.Ticket, locks.MCS, locks.CLH,
-		locks.FC, locks.FCPilot, locks.DSMSynch, locks.DSMSynchPilot} {
+	kinds := []locks.Kind{locks.TAS, locks.Ticket, locks.MCS, locks.CLH,
+		locks.FC, locks.FCPilot, locks.DSMSynch, locks.DSMSynchPilot}
+	vals := runner.Grid(o.Pool, len(kinds), len(intervals), func(r, c int) float64 {
+		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[r],
+			Threads: o.threads(), Ops: ops, Interval: intervals[c], Seed: o.seed()}).Throughput()
+	})
+	for ki, k := range kinds {
 		cells := []any{k.String()}
-		for _, iv := range intervals {
-			v := locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: k,
-				Threads: o.threads(), Ops: ops, Interval: iv, Seed: o.seed()}).Throughput()
-			cells = append(cells, v/1e6)
+		for ii := range intervals {
+			cells = append(cells, vals[ki][ii]/1e6)
 		}
 		t.Row(cells...)
 	}
@@ -548,13 +658,24 @@ func TSOPorting(o Options) *report.Table {
 	t := report.New("Extension: porting cost, TSO (x86) vs WMM (ARM) producer-consumer (10^6 msgs/s)",
 		"Binding", "TSO no barriers", "WMM best combo", "WMM Pilot", "barrier tax", "after Pilot")
 	best := pc.Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
-	for _, b := range pcBindings() {
-		tso := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Classic, Messages: msgs, Seed: o.seed(), TSO: true}).Throughput()
-		wmm := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Classic, Combo: best, Messages: msgs, Seed: o.seed()}).Throughput()
-		pil := pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
-			Mode: pc.Pilot, Messages: msgs, Seed: o.seed()}).Throughput()
+	bindings := pcBindings()
+	// Columns: 0 = TSO no barriers, 1 = WMM best combo, 2 = WMM Pilot.
+	vals := runner.Grid(o.Pool, len(bindings), 3, func(r, c int) float64 {
+		b := bindings[r]
+		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
+			Messages: msgs, Seed: o.seed()}
+		switch c {
+		case 0:
+			cfg.Mode, cfg.TSO = pc.Classic, true
+		case 1:
+			cfg.Mode, cfg.Combo = pc.Classic, best
+		default:
+			cfg.Mode = pc.Pilot
+		}
+		return pc.Run(cfg).Throughput()
+	})
+	for bi, b := range bindings {
+		tso, wmm, pil := vals[bi][0], vals[bi][1], vals[bi][2]
 		t.Row(b.Label, tso/1e6, wmm/1e6, pil/1e6,
 			fmt.Sprintf("%.0f%%", (tso/wmm-1)*100),
 			fmt.Sprintf("%.0f%%", (tso/pil-1)*100))
@@ -570,11 +691,14 @@ func MPMCFanIn(o Options) *report.Table {
 	msgs := o.scale(400, 120)
 	t := report.New("Extension: multi-producer fan-in (10^6 msgs/s, Kunpeng916)",
 		"Producers", "Locked ring", "Pilot fan-in", "speedup")
-	for _, n := range trim(o, []int{2, 4, 8, 16}) {
-		lr := pc.RunMPMC(pc.MPMCConfig{Plat: platform.Kunpeng916(), Producers: n,
-			Messages: msgs, Mode: pc.LockedRing, Seed: o.seed()}).Throughput()
-		pf := pc.RunMPMC(pc.MPMCConfig{Plat: platform.Kunpeng916(), Producers: n,
-			Messages: msgs, Mode: pc.PilotFanIn, Seed: o.seed()}).Throughput()
+	producers := trim(o, []int{2, 4, 8, 16})
+	modes := []pc.MPMCMode{pc.LockedRing, pc.PilotFanIn}
+	vals := runner.Grid(o.Pool, len(producers), len(modes), func(r, c int) float64 {
+		return pc.RunMPMC(pc.MPMCConfig{Plat: platform.Kunpeng916(), Producers: producers[r],
+			Messages: msgs, Mode: modes[c], Seed: o.seed()}).Throughput()
+	})
+	for ni, n := range producers {
+		lr, pf := vals[ni][0], vals[ni][1]
 		t.Row(n, lr/1e6, pf/1e6, fmt.Sprintf("%.2fx", pf/lr))
 	}
 	t.Note = "per-pair Pilot channels avoid both the lock and the publication barriers"
@@ -597,15 +721,19 @@ func SeqlockVsPilot(o Options) *report.Table {
 		{"same node", kp.Sys.NodeCores(0)[0], kp.Sys.NodeCores(0)[4]},
 		{"cross nodes", kp.Sys.NodeCores(0)[0], kp.Sys.NodeCores(1)[0]},
 	}
-	for _, b := range bindings {
-		for _, words := range trim(o, []int{1, 4, 8}) {
-			sq := pc.RunPub(pc.PubConfig{Plat: platform.Kunpeng916(), Writer: b.writer,
-				Reader: b.reader, Mode: pc.Seqlock, Words: words, Updates: updates,
-				Gap: 3000, Seed: o.seed()}).SnapshotRate()
-			pi := pc.RunPub(pc.PubConfig{Plat: platform.Kunpeng916(), Writer: b.writer,
-				Reader: b.reader, Mode: pc.PilotBatch, Words: words, Updates: updates,
-				Gap: 3000, Seed: o.seed()}).SnapshotRate()
-			t.Row(b.label, words, sq/1e6, pi/1e6, fmt.Sprintf("%.2fx", pi/sq))
+	words := trim(o, []int{1, 4, 8})
+	nW := len(words)
+	modes := []pc.PubMode{pc.Seqlock, pc.PilotBatch}
+	vals := runner.Grid(o.Pool, len(bindings)*nW, len(modes), func(r, c int) float64 {
+		b := bindings[r/nW]
+		return pc.RunPub(pc.PubConfig{Plat: platform.Kunpeng916(), Writer: b.writer,
+			Reader: b.reader, Mode: modes[c], Words: words[r%nW], Updates: updates,
+			Gap: 3000, Seed: o.seed()}).SnapshotRate()
+	})
+	for bi, b := range bindings {
+		for wi, w := range words {
+			row := vals[bi*nW+wi]
+			t.Row(b.label, w, row[0]/1e6, row[1]/1e6, fmt.Sprintf("%.2fx", row[1]/row[0]))
 		}
 	}
 	t.Note = "torn-free both ways; the seqlock's fenced write window also stalls readers into retries, which Pilot avoids entirely"
@@ -620,24 +748,38 @@ func A64CrossCheck(o Options) *report.Table {
 	p, cores := kunpengSame()
 	t := report.New("Validation: Algorithm-1 assembly vs Go-closure model (Mloops/s)",
 		"Variant", "closure", "a64", "ratio")
-	for _, v := range []absmodel.Variant{
+	variants := []absmodel.Variant{
 		{Barrier: isa.None},
 		{Barrier: isa.DMBFull, Loc: absmodel.Loc1},
 		{Barrier: isa.DMBFull, Loc: absmodel.Loc2},
 		{Barrier: isa.DMBSt, Loc: absmodel.Loc1},
 		{Barrier: isa.DSBFull, Loc: absmodel.Loc1},
 		{Barrier: isa.STLR},
-	} {
+	}
+	type outcome struct {
+		thr float64
+		err error
+	}
+	// Columns: 0 = Go closure, 1 = a64 assembly.
+	vals := runner.Grid(o.Pool, len(variants), 2, func(r, c int) outcome {
 		cfg := absmodel.Config{Plat: p, Cores: cores, Pattern: absmodel.TwoStores,
-			Variant: v, Nops: 60, Iters: iters, Seed: o.seed()}
-		cl := absmodel.Run(cfg).Throughput()
-		asm, err := absmodel.RunA64(cfg)
+			Variant: variants[r], Nops: 60, Iters: iters, Seed: o.seed()}
+		if c == 0 {
+			return outcome{thr: absmodel.Run(cfg).Throughput()}
+		}
+		res, err := absmodel.RunA64(cfg)
 		if err != nil {
-			t.Row(v.Name(), cl/1e6, "error", err.Error())
+			return outcome{err: err}
+		}
+		return outcome{thr: res.Throughput()}
+	})
+	for vi, v := range variants {
+		cl, asm := vals[vi][0].thr, vals[vi][1]
+		if asm.err != nil {
+			t.Row(v.Name(), cl/1e6, "error", asm.err.Error())
 			continue
 		}
-		t.Row(v.Name(), cl/1e6, asm.Throughput()/1e6,
-			fmt.Sprintf("%.2f", asm.Throughput()/cl))
+		t.Row(v.Name(), cl/1e6, asm.thr/1e6, fmt.Sprintf("%.2f", asm.thr/cl))
 	}
 	t.Note = "the a64 path executes mov/add/cmp per loop that the closure charges as plain nops; ratios near 1 validate both encodings"
 	return t
@@ -647,16 +789,17 @@ func A64CrossCheck(o Options) *report.Table {
 func Fig8d(o Options) *report.Table {
 	t := report.New("Figure 8d: BOTS floorplan normalized execution time",
 		"Input", "Ticket", "DSynch", "DSynch-P", "optimum found")
-	for i, in := range floorplan.Inputs() {
-		if o.Quick && i > 0 {
-			break
-		}
-		tick := floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
-			Kind: locks.Ticket, In: in, Threads: 8, Seed: o.seed()})
-		dsy := floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
-			Kind: locks.DSMSynch, In: in, Threads: 8, Seed: o.seed()})
-		dsp := floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
-			Kind: locks.DSMSynchPilot, In: in, Threads: 8, Seed: o.seed()})
+	inputs := floorplan.Inputs()
+	if o.Quick && len(inputs) > 1 {
+		inputs = inputs[:1]
+	}
+	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot}
+	vals := runner.Grid(o.Pool, len(inputs), len(kinds), func(r, c int) floorplan.Result {
+		return floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
+			Kind: kinds[c], In: inputs[r], Threads: 8, Seed: o.seed()})
+	})
+	for ii, in := range inputs {
+		tick, dsy, dsp := vals[ii][0], vals[ii][1], vals[ii][2]
 		okAll := tick.Valid && dsy.Valid && dsp.Valid
 		t.Row(in.Name, tick.Cycles/dsy.Cycles, 1.0, dsp.Cycles/dsy.Cycles, okAll)
 	}

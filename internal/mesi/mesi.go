@@ -110,11 +110,27 @@ func (d *Directory) CopyAt(core topo.CoreID, addr uint64) *Copy {
 	return ln.copies[core]
 }
 
+// install gives core a fresh valid copy on ln, reusing the core's
+// existing Copy struct when it has one: refetches and commit-side
+// reinstalls happen once per store/miss, and recycling the struct (and
+// its stale-snapshot map) keeps the commit path allocation-free.
+func (d *Directory) install(ln *Line, core topo.CoreID, now float64) {
+	if cp := ln.copies[core]; cp != nil {
+		cp.FetchedAt = now
+		cp.InvalidatedAt = 0
+		cp.ProcessAt = 0
+		clear(cp.stale)
+		return
+	}
+	ln.copies[core] = &Copy{FetchedAt: now}
+}
+
 // Fetch installs a fresh valid copy of addr's line at core, effective at
-// time now (after the miss latency has been paid by the caller).
+// time now (after the miss latency has been paid by the caller). Any
+// previous (e.g. invalidated) copy the core held is replaced.
 func (d *Directory) Fetch(core topo.CoreID, addr uint64, now float64) {
 	ln := d.line(addr)
-	ln.copies[core] = &Copy{FetchedAt: now}
+	d.install(ln, core, now)
 	d.Fetches++
 }
 
@@ -189,7 +205,7 @@ func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, pr
 	d.mem[addr] = v
 	ln.Owner = core
 	ln.Version++
-	ln.copies[core] = &Copy{FetchedAt: now}
+	d.install(ln, core, now)
 	d.Commits++
 }
 

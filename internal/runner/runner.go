@@ -1,0 +1,153 @@
+// Package runner is the parallel experiment engine behind cmd/armbar
+// and the figure generators. An experiment decomposes into independent
+// *cells* — one simulated machine (or a few) per platform × data-point,
+// each fully determined by its own configuration and seed — and the
+// runner fans the cells out over a fixed-size worker pool, then merges
+// the results back in canonical (submission) order.
+//
+// Because every cell builds its own sim.Machine and shares only
+// immutable inputs (topologies, cost models), the merged output is
+// byte-identical to a sequential run of the same cells: parallelism
+// changes only *when* a cell computes, never *what* it computes. That
+// determinism guarantee is regression-tested in determinism_test.go.
+//
+// A nil *Pool is valid everywhere and means "run cells inline on the
+// caller's goroutine" — the sequential baseline costs zero goroutines.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool with a bounded submission queue.
+// Submissions beyond the queue bound block the submitter (backpressure)
+// until a worker frees up; results are delivered through Futures so
+// callers can always merge in canonical order.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns a pool of the given number of workers. workers <= 0
+// means GOMAXPROCS. The submission queue is bounded at twice the
+// worker count: enough to keep every worker fed, small enough that a
+// producer enumerating a huge grid cannot outrun the consumers.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(), 2*workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size (0 for a nil, inline pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Close stops accepting work and waits for in-flight cells to finish.
+// Close on a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Future is the pending result of one submitted cell.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	pan  any // recovered panic value, re-raised at Get
+}
+
+// Get blocks until the cell has run and returns its value. If the cell
+// panicked, Get re-panics with the cell's panic value on the caller's
+// goroutine, so failures surface where the experiment is assembled.
+func (f *Future[T]) Get() T {
+	<-f.done
+	if f.pan != nil {
+		panic(f.pan)
+	}
+	return f.val
+}
+
+// Submit schedules fn as one cell on the pool and returns its Future.
+// On a nil pool fn runs inline before Submit returns. Cells must not
+// submit further cells and block on them: with every worker blocked in
+// a Get the queue can never drain. Fan-out belongs in the goroutine
+// assembling the experiment.
+func Submit[T any](p *Pool, fn func() T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	if p == nil {
+		f.val = fn()
+		close(f.done)
+		return f
+	}
+	p.tasks <- func() {
+		defer close(f.done)
+		defer func() {
+			if r := recover(); r != nil {
+				f.pan = fmt.Errorf("runner: cell panicked: %v", r)
+			}
+		}()
+		f.val = fn()
+	}
+	return f
+}
+
+// Map evaluates fn(0..n-1) as n independent cells and returns the
+// results in index order — the canonical-merge primitive. The order of
+// the returned slice (and therefore any table built from it) is
+// independent of the pool size.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	futs := make([]*Future[T], n)
+	for i := range futs {
+		i := i
+		futs[i] = Submit(p, func() T { return fn(i) })
+	}
+	out := make([]T, n)
+	for i, f := range futs {
+		out[i] = f.Get()
+	}
+	return out
+}
+
+// Grid evaluates fn over a rows × cols grid as independent cells and
+// returns results indexed [row][col]. This is the shape of most figure
+// sweeps: one row per variant/lock/binding, one column per data-point.
+func Grid[T any](p *Pool, rows, cols int, fn func(r, c int) T) [][]T {
+	flat := Map(p, rows*cols, func(k int) T { return fn(k/cols, k%cols) })
+	out := make([][]T, rows)
+	for r := range out {
+		out[r] = flat[r*cols : (r+1)*cols]
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderIndependentOfPoolSize(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := Map(nil, 64, fn) // inline sequential baseline
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		got := Map(p, 64, fn)
+		p.Close()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	g := Grid(p, 4, 5, func(r, c int) int { return 10*r + c })
+	if len(g) != 4 {
+		t.Fatalf("rows = %d, want 4", len(g))
+	}
+	for r := range g {
+		if len(g[r]) != 5 {
+			t.Fatalf("row %d cols = %d, want 5", r, len(g[r]))
+		}
+		for c := range g[r] {
+			if g[r][c] != 10*r+c {
+				t.Fatalf("g[%d][%d] = %d", r, c, g[r][c])
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	gid := func() uint64 {
+		// Goroutine identity proxy: inline cells must observe the
+		// caller's stack-local state, so use a plain side effect.
+		return 0
+	}
+	_ = gid
+	ran := false
+	f := Submit[int](nil, func() int { ran = true; return 7 })
+	if !ran {
+		t.Fatal("nil-pool Submit must run the cell before returning")
+	}
+	if got := f.Get(); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+	if (*Pool)(nil).Workers() != 0 {
+		t.Fatal("nil pool must report 0 workers")
+	}
+	(*Pool)(nil).Close() // must not panic
+}
+
+func TestBoundedQueueBackpressure(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var inFlight, maxInFlight int64
+	var mu sync.Mutex
+	release := make(chan struct{})
+	var futs []*Future[int]
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	for i := 0; i < 32; i++ {
+		futs = append(futs, Submit(p, func() int {
+			n := atomic.AddInt64(&inFlight, 1)
+			mu.Lock()
+			if n > maxInFlight {
+				maxInFlight = n
+			}
+			mu.Unlock()
+			<-release
+			atomic.AddInt64(&inFlight, -1)
+			return 1
+		}))
+	}
+	sum := 0
+	for _, f := range futs {
+		sum += f.Get()
+	}
+	if sum != 32 {
+		t.Fatalf("sum = %d, want 32", sum)
+	}
+	if maxInFlight > 2 {
+		t.Fatalf("max in-flight cells = %d, want <= 2 workers", maxInFlight)
+	}
+}
+
+func TestPanicPropagatesToGet(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	f := Submit(p, func() int { panic("cell boom") })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Get must re-panic a panicked cell")
+		}
+		if !strings.Contains(strings.ToLower(strings.TrimSpace(asString(r))), "cell boom") {
+			t.Fatalf("panic value %v should carry the cell's message", r)
+		}
+	}()
+	f.Get()
+}
+
+func asString(v any) string {
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestDefaultSizeIsGOMAXPROCS(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers = %d, want GOMAXPROCS = %d", p.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Close() // second close must not panic
+}

@@ -3,7 +3,9 @@ package sim
 import "armbar/internal/topo"
 
 // event is a scheduled store commit: at time, core's buffered store
-// (entry sbSeq in its store buffer) becomes globally visible.
+// (entry sbSeq in its store buffer) becomes globally visible. Events
+// are recycled through the machine's free list — the scheduler loop
+// allocates none in steady state.
 type event struct {
 	time  float64
 	seq   uint64 // global tie-breaker for determinism
@@ -14,25 +16,77 @@ type event struct {
 	value uint64
 }
 
-// eventHeap is a min-heap on (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a concrete min-heap on (time, seq). It deliberately does
+// not go through container/heap: the interface indirection and any
+// round trips were measurable in the commit drain, and the heap already
+// yields events in order, so the drain needs no further sorting.
+type eventHeap struct {
+	s []*event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// shrinkCap is the backing-array size above which an emptying heap
+// releases memory instead of retaining its high-water mark.
+const shrinkCap = 64
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (h *eventHeap) len() int { return len(h.s) }
+
+// min returns the earliest event without removing it.
+func (h *eventHeap) min() *event { return h.s[0] }
+
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, restoring the heap order by sifting up.
+func (h *eventHeap) push(e *event) {
+	h.s = append(h.s, e)
+	i := len(h.s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.s[i], h.s[parent]) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. When the live portion
+// falls far below the backing array's capacity the array is reallocated
+// at the smaller size, so a burst of pending stores does not pin its
+// high-water memory for the rest of the run.
+func (h *eventHeap) pop() *event {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	// Sift down from the root.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && eventLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	if cap(s) > shrinkCap && len(s)*4 <= cap(s) {
+		ns := make([]*event, len(s), cap(s)/2)
+		copy(ns, s)
+		s = ns
+	}
+	h.s = s
+	return top
 }

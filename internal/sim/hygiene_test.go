@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"armbar/internal/platform"
+	"armbar/internal/topo"
+)
+
+// TestEventHeapYieldsOrder checks the concrete heap against its
+// contract: pops come out in (time, seq) order with no further
+// sorting needed by the drain.
+func TestEventHeapYieldsOrder(t *testing.T) {
+	var h eventHeap
+	rng := rand.New(rand.NewSource(1))
+	const n = 4096
+	for i := 0; i < n; i++ {
+		h.push(&event{time: float64(rng.Intn(200)), seq: uint64(i)})
+	}
+	prevT, prevS := -1.0, uint64(0)
+	for h.len() > 0 {
+		e := h.pop()
+		if e.time < prevT || (e.time == prevT && e.seq <= prevS && prevT >= 0) {
+			t.Fatalf("heap out of order: (%g,%d) after (%g,%d)", e.time, e.seq, prevT, prevS)
+		}
+		prevT, prevS = e.time, e.seq
+	}
+}
+
+// TestEventHeapReleasesBacking checks the hygiene fix: after a burst
+// of pending events drains, the heap must not keep its high-water
+// backing array for the rest of the run.
+func TestEventHeapReleasesBacking(t *testing.T) {
+	var h eventHeap
+	const burst = 8192
+	for i := 0; i < burst; i++ {
+		h.push(&event{time: float64(i), seq: uint64(i)})
+	}
+	if cap(h.s) < burst {
+		t.Fatalf("setup: cap %d, want >= %d", cap(h.s), burst)
+	}
+	for h.len() > 0 {
+		h.pop()
+	}
+	if cap(h.s) > 4*shrinkCap {
+		t.Errorf("drained heap retains cap %d, want <= %d", cap(h.s), 4*shrinkCap)
+	}
+}
+
+// TestLongRunHeapStaysBounded runs a store-heavy multi-thread machine
+// long enough that an unbounded structure would show, then checks both
+// the heap backing store and the event free list stayed capped: a long
+// run must not grow either monotonically.
+func TestLongRunHeapStaysBounded(t *testing.T) {
+	m := New(Config{Plat: platform.Kunpeng916(), Seed: 3, MaxTime: 1e15})
+	const threads, stores = 4, 20000
+	addrs := make([]uint64, threads)
+	for i := range addrs {
+		addrs[i] = m.Alloc(1)
+	}
+	for i := 0; i < threads; i++ {
+		addr := addrs[i]
+		m.Spawn(topo.CoreID(i*4), func(th *Thread) { // one cluster apart each
+			for s := 0; s < stores; s++ {
+				th.Store(addr, uint64(s))
+			}
+		})
+	}
+	m.Run()
+	// The live event population is bounded by the store buffers
+	// (threads × StoreBufferEntries = 96 here), so both retained
+	// structures must stay in that ballpark regardless of run length.
+	if cap(m.events.s) > 4*shrinkCap {
+		t.Errorf("event heap backing store grew to %d, want <= %d", cap(m.events.s), 4*shrinkCap)
+	}
+	if len(m.freeEv) > maxFreeEvents {
+		t.Errorf("free list grew to %d, want <= %d", len(m.freeEv), maxFreeEvents)
+	}
+	if len(m.freeEv) == 0 {
+		t.Error("free list empty after a store-heavy run: events are not being recycled")
+	}
+}

@@ -21,7 +21,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -88,6 +87,7 @@ type Machine struct {
 
 	events  eventHeap
 	eventSq uint64
+	freeEv  []*event // recycled commit events (see newEvent/recycle)
 
 	reqCh   chan *request
 	pending []*request // index by thread id
@@ -110,11 +110,15 @@ func New(cfg Config) *Machine {
 		cfg.MaxTime = 50e9
 	}
 	m := &Machine{
-		cfg:      cfg,
-		sys:      cfg.Plat.Sys,
-		cost:     &cfg.Plat.Cost,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		reqCh:    make(chan *request),
+		cfg:  cfg,
+		sys:  cfg.Plat.Sys,
+		cost: &cfg.Plat.Cost,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		// Buffered so a parking thread almost never blocks on the send
+		// half of the rendezvous: each live thread has at most one
+		// outstanding request, so any capacity short of the thread count
+		// only costs an occasional (still correct) blocking send.
+		reqCh:    make(chan *request, reqChanBuffer),
 		nextAddr: 1 << mesi.LineShift, // keep address 0 unused
 	}
 	m.dir = mesi.NewDirectory(m.sys)
@@ -241,9 +245,11 @@ func (m *Machine) Run() float64 {
 		m.pending[pick.t.id] = nil
 		pick.reply <- pick.result
 	}
-	// Drain every remaining commit so directory state is final.
-	for len(m.events) > 0 {
-		ev := heap.Pop(&m.events).(*event)
+	// Drain every remaining commit so directory state is final. The
+	// heap yields commits in (time, seq) order directly; no further
+	// sorting happens on the drain path.
+	for m.events.len() > 0 {
+		ev := m.events.pop()
 		if ev.time > finish {
 			finish = ev.time
 		}
@@ -266,8 +272,8 @@ func (m *Machine) Seconds(cycles float64) float64 {
 
 // retireStores applies all commit events scheduled at or before t.
 func (m *Machine) retireStores(t float64) {
-	for len(m.events) > 0 && m.events[0].time <= t {
-		m.apply(heap.Pop(&m.events).(*event))
+	for m.events.len() > 0 && m.events.min().time <= t {
+		m.apply(m.events.pop())
 	}
 }
 
@@ -275,6 +281,33 @@ func (m *Machine) apply(ev *event) {
 	m.dir.CommitStore(ev.core, ev.addr, ev.value, ev.time, m.invProc())
 	ev.t.buf.Remove(ev.sbSeq)
 	m.emit(ev.t, TraceCommit, ev.addr, ev.time, ev.time, "")
+	m.recycle(ev)
+}
+
+// maxFreeEvents bounds the free list; the working set is already
+// bounded by the sum of all store-buffer capacities, so the cap only
+// guards against pathological configurations.
+const (
+	maxFreeEvents = 1024
+	reqChanBuffer = 64
+)
+
+// newEvent takes a commit event off the free list, or allocates one.
+func (m *Machine) newEvent() *event {
+	if n := len(m.freeEv); n > 0 {
+		e := m.freeEv[n-1]
+		m.freeEv = m.freeEv[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns an applied event to the free list.
+func (m *Machine) recycle(e *event) {
+	if len(m.freeEv) < maxFreeEvents {
+		*e = event{}
+		m.freeEv = append(m.freeEv, e)
+	}
 }
 
 // invProc draws how long remote holders keep serving a stale copy
@@ -290,7 +323,7 @@ func (m *Machine) invProc() float64 {
 func (m *Machine) schedule(ev *event) {
 	m.eventSq++
 	ev.seq = m.eventSq
-	heap.Push(&m.events, ev)
+	m.events.push(ev)
 }
 
 func (m *Machine) stuckReport(t *Thread) string {

@@ -79,7 +79,12 @@ func newThread(m *Machine, id int, core topo.CoreID) *Thread {
 		core:          core,
 		buf:           sb.New(m.cost.StoreBufferEntries, m.cfg.Mode == TSO),
 		lastAddrStore: make(map[uint64]float64),
-		reply:         make(chan uint64),
+		// Capacity 1 turns the reply side of the rendezvous into a
+		// single non-blocking handoff: the scheduler deposits the result
+		// and moves straight on to the next runnable thread instead of
+		// sleeping until this one is rescheduled. A thread has at most
+		// one outstanding request, so the slot can never be occupied.
+		reply: make(chan uint64, 1),
 	}
 }
 
@@ -327,8 +332,7 @@ func (m *Machine) doLoad(t *Thread, addr uint64, acquire bool) uint64 {
 		} else {
 			t.now += lat
 		}
-		m.dir.DropCopy(t.core, addr)
-		m.dir.Fetch(t.core, addr, t.now)
+		m.dir.Fetch(t.core, addr, t.now) // replaces any stale copy in place
 		val = m.dir.Committed(addr)
 		t.stats.Misses++
 		m.stats.Misses++
@@ -454,7 +458,9 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 	t.lastAddrStore[addr] = commit
 	e := t.buf.Push(addr, value, t.now, commit)
 	t.now += m.cost.StoreBufferLatency
-	m.schedule(&event{time: e.Commit, t: t, core: t.core, sbSeq: e.Seq, addr: addr, value: value})
+	ev := m.newEvent()
+	ev.time, ev.t, ev.core, ev.sbSeq, ev.addr, ev.value = e.Commit, t, t.core, e.Seq, addr, value
+	m.schedule(ev)
 }
 
 // doBarrier implements the standalone ordering instructions.

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Regenerates BENCH_sim.json, the committed snapshot of the simulator
+# hot-path microbenchmarks. Run from the repo root (or via
+# `make bench-snapshot`) on a quiet machine; commit the result so perf
+# regressions in the rendezvous/commit paths show up in review diffs.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_sim.json
+
+raw=$(go test -run '^$' -bench 'Rendezvous|StoreCommit|StoreDMB' -benchmem ./internal/sim)
+
+printf '%s\n' "$raw" | awk \
+    -v goversion="$(go env GOVERSION)" \
+    -v maxprocs="${GOMAXPROCS:-$(nproc)}" \
+    -v date="$(date -u +%Y-%m-%d)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    benches[++n] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, $2, $3, $5, $7)
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    if (n == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
+    print "  \"benchmarks\": ["
+    for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
+    print "  ]"
+    print "}"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
