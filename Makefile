@@ -1,11 +1,13 @@
 GO ?= go
 
 # The verify chain is what CI (and any contributor) runs before a
-# merge: full build, vet, the whole test suite, then the concurrency
-# packages again under the race detector. `-run 'Test'` keeps the race
-# pass on the (fast) unit tests of the pool and the core primitives.
+# merge: full build, vet, the whole test suite, the concurrency
+# packages again under the race detector, then the perf-regression
+# gate against the committed BENCH_sim.json. `-run 'Test'` keeps the
+# race pass on the (fast) unit tests of the pool and the core
+# primitives.
 .PHONY: verify
-verify: build vet test race
+verify: build vet test race perfcheck
 
 .PHONY: build
 build:
@@ -39,6 +41,12 @@ bench-sim:
 .PHONY: bench-snapshot
 bench-snapshot:
 	./scripts/bench_snapshot.sh
+
+# Perf-regression gate: rerun the hot-path microbenchmarks and fail
+# when they regress against the committed BENCH_sim.json.
+.PHONY: perfcheck
+perfcheck:
+	./scripts/perf_gate.sh
 
 # One full-suite regeneration through the parallel runner.
 .PHONY: bench-all

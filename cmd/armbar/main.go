@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	armbar [-quick] [-seed N] [-par N] [-csv] <experiment> [...]
+//	armbar [-quick] [-seed N] [-par N] [-csv] [-metrics f] [-trace-out f] <experiment> [...]
+//	armbar perfcheck [-snapshot BENCH_sim.json] [-threshold 1.8]
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6a fig6b
 // fig6c fig6d fig7a fig7b fig7c fig8a fig8b fig8c fig8d platforms all.
@@ -12,19 +13,32 @@
 // N workers (default GOMAXPROCS; 1 forces the inline sequential path).
 // Output is byte-identical at every -par value and seed: parallelism
 // only changes when a cell computes, never what it computes.
+//
+// Observability (see README "Observability"): -metrics writes a JSON
+// snapshot of simulator, runner and per-experiment metrics ("-" for
+// stdout, after the tables); -metrics-prom selects Prometheus text
+// instead; -trace-out writes a merged Chrome/Perfetto trace of the
+// simulated machines; -manifest writes a run manifest (also written as
+// manifest.json into the -o directory). perfcheck reruns the hot-path
+// microbenchmarks and fails when they regress against BENCH_sim.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"armbar/internal/figures"
+	"armbar/internal/metrics"
 	"armbar/internal/runner"
+	"armbar/internal/sim"
+	"armbar/internal/trace"
 )
 
 var (
@@ -36,13 +50,76 @@ var (
 	par    = flag.Int("par", runtime.GOMAXPROCS(0),
 		"worker count for experiment cells (1 = sequential, 0 = GOMAXPROCS)")
 	times = flag.Bool("times", true, "report per-experiment wall time on stderr")
+
+	metricsOut  = flag.String("metrics", "", "write run metrics as JSON to this file (\"-\" = stdout, after the tables)")
+	metricsProm = flag.Bool("metrics-prom", false, "write -metrics output in Prometheus text format instead of JSON")
+	traceOut    = flag.String("trace-out", "", "write a merged Chrome/Perfetto trace of the simulated machines to this file")
+	traceCap    = flag.Int("trace-cap", 4096, "with -trace-out: most recent events kept per machine (0 = unlimited)")
+	traceMach   = flag.Int("trace-machines", 256, "with -trace-out: maximum machines traced")
+	manifestOut = flag.String("manifest", "", "write a run manifest (seed, flags, git rev, per-experiment metrics) to this file")
 )
 
+// manifest is the self-describing record written next to a run's
+// results: everything needed to reproduce or audit the run.
+type manifest struct {
+	Tool        string                  `json:"tool"`
+	Date        string                  `json:"date"`
+	GoVersion   string                  `json:"go_version"`
+	GitRevision string                  `json:"git_revision"`
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	Seed        int64                   `json:"seed"`
+	Quick       bool                    `json:"quick"`
+	Par         int                     `json:"par"`
+	Args        []string                `json:"args"`
+	WallSeconds float64                 `json:"wall_seconds"`
+	Experiments []figures.ExperimentRun `json:"experiments"`
+	MetricsFile string                  `json:"metrics_file,omitempty"`
+	TraceFile   string                  `json:"trace_file,omitempty"`
+}
+
+// gitRevision reads the VCS revision stamped into the binary, falling
+// back to "unknown" (e.g. for plain `go run` of a non-VCS tree).
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return rev + dirty
+}
+
+// teeTracer fans one machine's events out to both observability sinks.
+type teeTracer struct{ a, b sim.Tracer }
+
+func (t teeTracer) Event(ev sim.TraceEvent) {
+	t.a.Event(ev)
+	t.b.Event(ev)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "armbar: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "perfcheck" {
+		os.Exit(perfcheckMain(os.Args[2:]))
+	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "       armbar perfcheck [-snapshot BENCH_sim.json]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(figures.Names(), " "))
 		os.Exit(2)
 	}
@@ -55,10 +132,43 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	requested := append([]string(nil), args...)
 	if args[0] == "all" {
 		args = figures.Names()
 	} else if args[0] == "platforms" {
 		args = []string{"table2"}
+	}
+
+	// Observability sinks. Both hooks are installed before any machine
+	// is built and cost nothing when their flags are unset.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		sim.SetGlobalMetrics(reg)
+	}
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector(*traceCap, *traceMach)
+	}
+	if reg != nil || collector != nil {
+		var mt sim.Tracer
+		if reg != nil {
+			mt = sim.NewMetricsTracer(reg)
+		}
+		sim.SetMachineTracerFactory(func() sim.Tracer {
+			var rec sim.Tracer
+			if collector != nil {
+				rec = collector.NewTracer()
+			}
+			switch {
+			case mt != nil && rec != nil:
+				return teeTracer{mt, rec}
+			case mt != nil:
+				return mt
+			default:
+				return rec
+			}
+		})
 	}
 
 	// One pool for the whole invocation; -par 1 keeps cells inline on
@@ -66,17 +176,30 @@ func main() {
 	var pool *runner.Pool
 	if *par != 1 {
 		pool = runner.New(*par)
+		pool.SetMetrics(reg) // nil-safe: dark without -metrics
 		defer pool.Close()
 	}
 	o := figures.Options{Quick: *quick, Seed: *seed, Pool: pool}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "armbar: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 	}
-	total := time.Duration(0)
+	man := manifest{
+		Tool:        "armbar",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GitRevision: gitRevision(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        *seed,
+		Quick:       *quick,
+		Par:         *par,
+		Args:        requested,
+		MetricsFile: *metricsOut,
+		TraceFile:   *traceOut,
+	}
+	start := time.Now()
 	for _, name := range args {
 		exp, ok := figures.ByName(name)
 		if !ok {
@@ -84,17 +207,14 @@ func main() {
 				name, strings.Join(figures.Names(), " "))
 			os.Exit(2)
 		}
-		start := time.Now()
-		tables := exp.Gen(o)
-		elapsed := time.Since(start)
-		total += elapsed
+		tables, run := figures.RunInstrumented(exp, o, reg)
+		man.Experiments = append(man.Experiments, run)
 		if *times {
-			fmt.Fprintf(os.Stderr, "# %-8s %2d table(s) in %v\n", name, len(tables), elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "# %-8s %2d table(s) in %v\n", name, len(tables),
+				time.Duration(run.WallSeconds*float64(time.Second)).Round(time.Millisecond))
 		}
 		if len(tables) != exp.Tables {
-			fmt.Fprintf(os.Stderr, "armbar: %s emitted %d tables, registry says %d\n",
-				name, len(tables), exp.Tables)
-			os.Exit(1)
+			fail("%s emitted %d tables, registry says %d", name, len(tables), exp.Tables)
 		}
 		for i, t := range tables {
 			switch {
@@ -111,13 +231,72 @@ func main() {
 					file = filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", name, i))
 				}
 				if err := os.WriteFile(file, []byte(t.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "armbar: %v\n", err)
-					os.Exit(1)
+					fail("%v", err)
 				}
 			}
 		}
 	}
+	man.WallSeconds = time.Since(start).Seconds()
 	if *times {
-		fmt.Fprintf(os.Stderr, "# total    %v (par=%d)\n", total.Round(time.Millisecond), *par)
+		fmt.Fprintf(os.Stderr, "# total    %v (par=%d)\n",
+			time.Duration(man.WallSeconds*float64(time.Second)).Round(time.Millisecond), *par)
 	}
+
+	// Close the pool before exporting so the derived whole-run gauges
+	// (worker utilization, cells/sec) are frozen; the deferred Close is
+	// then a no-op.
+	pool.Close()
+
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsOut, *metricsProm); err != nil {
+			fail("%v", err)
+		}
+	}
+	if collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := collector.WriteChromeJSON(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "# trace    %s: %d machine(s), %d dropped event(s), %d machine(s) untraced — open at https://ui.perfetto.dev\n",
+			*traceOut, collector.Machines(), collector.Dropped(), collector.Skipped())
+	}
+	manifestPath := *manifestOut
+	if manifestPath == "" && *outDir != "" {
+		manifestPath = filepath.Join(*outDir, "manifest.json")
+	}
+	if manifestPath != "" {
+		if err := writeManifest(man, manifestPath); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func writeMetrics(reg *metrics.Registry, dest string, prom bool) error {
+	w := os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if prom {
+		return reg.WriteProm(w)
+	}
+	return reg.WriteJSON(w)
+}
+
+func writeManifest(man manifest, path string) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

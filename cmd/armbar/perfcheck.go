@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"armbar/internal/perfgate"
+	"armbar/internal/simbench"
+)
+
+// perfcheckMain implements `armbar perfcheck`: rerun the simulator
+// hot-path microbenchmarks in-process (via testing.Benchmark, the same
+// bodies `go test -bench` measures) and gate them against the
+// committed BENCH_sim.json. Exit status 1 means a regression.
+func perfcheckMain(argv []string) int {
+	fs := flag.NewFlagSet("perfcheck", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "BENCH_sim.json", "committed benchmark snapshot to gate against")
+	threshold := fs.Float64("threshold", 1.8, "fail when ns/op exceeds the snapshot by this ratio")
+	runs := fs.Int("runs", 3, "repetitions per benchmark; the fastest repetition is compared (noise guard)")
+	handicap := fs.Float64("handicap", 1, "multiply measured ns/op — inject a synthetic slowdown to demonstrate the gate")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: armbar perfcheck [-snapshot file] [-threshold x] [-runs n] [-handicap x]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+
+	snap, err := perfgate.Load(*snapPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "# gating against %s (%s, %s), %d runs per benchmark\n",
+		*snapPath, snap.Date, snap.Go, *runs)
+
+	cur := make([]perfgate.Bench, 0, len(simbench.Benches))
+	for _, nb := range simbench.Benches {
+		best := perfgate.Bench{Name: nb.Name, NsPerOp: math.Inf(1)}
+		for r := 0; r < *runs; r++ {
+			res := testing.Benchmark(nb.Fn)
+			if res.N == 0 {
+				continue
+			}
+			ns := float64(res.T.Nanoseconds()) / float64(res.N)
+			if ns < best.NsPerOp {
+				best.NsPerOp = ns
+				best.Iters = int64(res.N)
+				best.BytesPerOp = res.AllocedBytesPerOp()
+				best.AllocsPerOp = res.AllocsPerOp()
+			}
+		}
+		best.NsPerOp *= *handicap
+		fmt.Fprintf(os.Stderr, "# %-32s %10.1f ns/op %6d B/op %4d allocs/op\n",
+			best.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+		cur = append(cur, best)
+	}
+
+	deltas, ok := perfgate.Compare(snap, cur, *threshold)
+	fmt.Print(perfgate.Table(deltas, *threshold))
+	if !ok {
+		fmt.Println("perfcheck: FAIL — hot-path performance regressed beyond the gate")
+		return 1
+	}
+	fmt.Println("perfcheck: OK")
+	return 0
+}

@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"armbar/internal/metrics"
+	"armbar/internal/report"
+)
+
+// ExperimentRun is the observability record of one generated
+// experiment — the per-experiment entry of cmd/armbar's run manifest.
+type ExperimentRun struct {
+	Name        string  `json:"name"`
+	Tables      int     `json:"tables"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OutputBytes int     `json:"output_bytes"` // rendered CSV bytes, format-independent
+	Cells       int     `json:"cells"`        // simulation cells run through the pool (0 when inline)
+}
+
+// RunInstrumented generates exp and measures it: wall time, rendered
+// output size (CSV bytes, so the measure is independent of the display
+// format), and how many pool cells the experiment consumed. When reg
+// is non-nil the measurements are also recorded as metrics; a nil reg
+// only fills the returned record. The generated tables are returned
+// unchanged — instrumentation never alters experiment output.
+func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*report.Table, ExperimentRun) {
+	cellsBefore := o.Pool.TasksDone()
+	start := time.Now()
+	tables := exp.Gen(o)
+	run := ExperimentRun{
+		Name:        exp.Name,
+		Tables:      len(tables),
+		WallSeconds: time.Since(start).Seconds(),
+		Cells:       int(o.Pool.TasksDone() - cellsBefore),
+	}
+	for _, t := range tables {
+		run.OutputBytes += len(t.CSV())
+	}
+	if reg != nil {
+		reg.Counter("figures_experiments_total").Inc()
+		reg.Counter("figures_tables_total").Add(uint64(run.Tables))
+		reg.Counter("figures_output_bytes_total").Add(uint64(run.OutputBytes))
+		reg.Counter("figures_cells_total").Add(uint64(run.Cells))
+		reg.Gauge(fmt.Sprintf("figures_wall_seconds{exp=%q}", exp.Name)).Set(run.WallSeconds)
+		reg.Gauge(fmt.Sprintf("figures_output_bytes{exp=%q}", exp.Name)).Set(float64(run.OutputBytes))
+		reg.Gauge(fmt.Sprintf("figures_cells{exp=%q}", exp.Name)).Set(float64(run.Cells))
+	}
+	return tables, run
+}

@@ -1,0 +1,59 @@
+package figures_test
+
+import (
+	"testing"
+
+	"armbar/internal/figures"
+	"armbar/internal/metrics"
+	"armbar/internal/runner"
+)
+
+func TestRunInstrumented(t *testing.T) {
+	exp, ok := figures.ByName("table3")
+	if !ok {
+		t.Fatal("table3 missing from registry")
+	}
+	reg := metrics.NewRegistry()
+	p := runner.New(2)
+	defer p.Close()
+	o := figures.Options{Quick: true, Pool: p}
+	tables, run := figures.RunInstrumented(exp, o, reg)
+	if len(tables) != exp.Tables {
+		t.Fatalf("instrumentation changed table count: %d vs %d", len(tables), exp.Tables)
+	}
+	if run.Name != "table3" || run.Tables != exp.Tables {
+		t.Fatalf("bad record: %+v", run)
+	}
+	if run.OutputBytes == 0 || run.WallSeconds < 0 {
+		t.Fatalf("empty measurements: %+v", run)
+	}
+	s := reg.Snapshot()
+	if s.Counters["figures_experiments_total"] != 1 {
+		t.Fatalf("experiments counter = %d", s.Counters["figures_experiments_total"])
+	}
+	if s.Gauges[`figures_wall_seconds{exp="table3"}`] < 0 {
+		t.Fatal("wall-time gauge missing")
+	}
+	if s.Counters["figures_output_bytes_total"] != uint64(run.OutputBytes) {
+		t.Fatal("output bytes counter disagrees with record")
+	}
+
+	// The same experiment with a nil registry must still measure.
+	_, run2 := figures.RunInstrumented(exp, figures.Options{Quick: true}, nil)
+	if run2.OutputBytes != run.OutputBytes {
+		t.Fatalf("output bytes differ between runs: %d vs %d", run2.OutputBytes, run.OutputBytes)
+	}
+	if run2.Cells != 0 {
+		t.Fatalf("inline run reported %d pool cells, want 0", run2.Cells)
+	}
+}
+
+func TestRunInstrumentedCountsCells(t *testing.T) {
+	exp, _ := figures.ByName("table1")
+	p := runner.New(2)
+	defer p.Close()
+	_, run := figures.RunInstrumented(exp, figures.Options{Quick: true, Pool: p}, nil)
+	if run.Cells == 0 {
+		t.Fatal("pooled run must attribute its cells")
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops_total") != c {
+		t.Fatal("Counter must return the same instrument for the same name")
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(1.5)
+	g.Max(2) // below current value: no effect
+	if got := g.Value(); got != 4.5 {
+		t.Fatalf("gauge = %g, want 4.5", got)
+	}
+	g.Max(10)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after Max = %g, want 10", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// SearchFloat64s puts v == bound into that bound's own bucket, so
+	// bounds are inclusive upper limits (Prometheus `le` semantics):
+	// 0.5 and 1 both land in bucket 0.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 556.5 {
+		t.Fatalf("count/sum = %d/%g, want 5/556.5", s.Count, s.Sum)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	g := r.Gauge("sum")
+	h := r.Histogram("h", ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d gauge=%g hist=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(7)
+	r.Gauge(`wall_seconds{exp="fig2"}`).Set(1.25)
+	r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if s.Counters["a_total"] != 7 || s.Gauges[`wall_seconds{exp="fig2"}`] != 1.25 {
+		t.Fatalf("round trip lost values: %+v", s)
+	}
+	if h := s.Histograms["lat"]; h.Count != 1 || h.Sum != 1.5 {
+		t.Fatalf("histogram round trip: %+v", h)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Add(3)
+	r.Gauge(`wall_seconds{exp="fig2"}`).Set(0.5)
+	h := r.Histogram("lat_cycles", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		"ops_total 3",
+		"# TYPE wall_seconds gauge",
+		`wall_seconds{exp="fig2"} 0.5`,
+		`lat_cycles_bucket{le="10"} 2`,
+		`lat_cycles_bucket{le="+Inf"} 3`,
+		"lat_cycles_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package runner
+
+import (
+	"testing"
+
+	"armbar/internal/metrics"
+)
+
+func TestPoolMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(3)
+	p.SetMetrics(reg)
+	Map(p, 20, func(i int) int { return i * i })
+	p.Close()
+	s := reg.Snapshot()
+	if got := s.Counters["runner_cells_total"]; got != 20 {
+		t.Fatalf("cells counter = %d, want 20", got)
+	}
+	if qw := s.Histograms["runner_queue_wait_seconds"]; qw.Count != 20 {
+		t.Fatalf("queue-wait observations = %d, want 20", qw.Count)
+	}
+	if sv := s.Histograms["runner_cell_service_seconds"]; sv.Count != 20 {
+		t.Fatalf("service observations = %d, want 20", sv.Count)
+	}
+	if s.Gauges["runner_workers"] != 3 {
+		t.Fatalf("workers gauge = %g, want 3", s.Gauges["runner_workers"])
+	}
+	if u := s.Gauges["runner_worker_utilization"]; u < 0 || u > 1.5 {
+		// Utilization is wall-clock derived; allow slack but catch
+		// nonsense (cells here are ~ns, so it should be tiny).
+		t.Fatalf("utilization = %g out of range", u)
+	}
+	if s.Gauges["runner_cells_per_second"] <= 0 {
+		t.Fatal("cells/sec gauge never set")
+	}
+}
+
+func TestMetricsOffCostsNothingStructural(t *testing.T) {
+	// A dark pool must not create instruments or record anything; this
+	// is the "metrics off by default" contract.
+	p := New(2)
+	Map(p, 8, func(i int) int { return i })
+	p.Close()
+	if p.obs != nil {
+		t.Fatal("pool grew metrics without SetMetrics")
+	}
+}

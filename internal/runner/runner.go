@@ -13,12 +13,22 @@
 //
 // A nil *Pool is valid everywhere and means "run cells inline on the
 // caller's goroutine" — the sequential baseline costs zero goroutines.
+//
+// A cell that panics fails only itself: the panic is captured (with
+// stack) as an error on its Future, readable through TryGet or Err.
+// Get re-raises it on the caller's goroutine for callers that treat a
+// failed cell as fatal (Map and Grid do).
 package runner
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"armbar/internal/metrics"
 )
 
 // Pool is a fixed-size worker pool with a bounded submission queue.
@@ -29,10 +39,29 @@ type Pool struct {
 	workers int
 	tasks   chan func()
 	wg      sync.WaitGroup
+	done    atomic.Uint64 // cells completed (including panicked ones)
 
 	mu     sync.Mutex
 	closed bool
+
+	// Observability (nil when dark): set once via SetMetrics before
+	// the first Submit. Instruments are pre-resolved so the per-task
+	// cost is two time.Now calls and a few atomic adds.
+	obs *poolMetrics
 }
+
+// poolMetrics holds the pre-resolved instruments for one pool.
+type poolMetrics struct {
+	reg       *metrics.Registry
+	tasks     *metrics.Counter
+	queueWait *metrics.Histogram // seconds from Submit to a worker picking the cell up
+	service   *metrics.Histogram // seconds a worker spent inside the cell
+	busyNs    *metrics.Counter
+	start     time.Time
+}
+
+// waitBounds spans 1µs queue blips up to ~67s stalls.
+var waitBounds = metrics.ExpBuckets(1e-6, 4, 13)
 
 // New returns a pool of the given number of workers. workers <= 0
 // means GOMAXPROCS. The submission queue is bounded at twice the
@@ -66,37 +95,108 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// TasksDone reports how many cells have finished on the pool so far
+// (0 for a nil pool). The figure generators use deltas of this counter
+// to attribute simulation cells to experiments.
+func (p *Pool) TasksDone() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+// SetMetrics starts recording pool behavior into reg: cells completed,
+// queue-wait and service-time histograms, worker busy time, and (at
+// Close) overall utilization and cells/sec. Call before the first
+// Submit; a nil pool or nil registry is a no-op.
+func (p *Pool) SetMetrics(reg *metrics.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = &poolMetrics{
+		reg:       reg,
+		tasks:     reg.Counter("runner_cells_total"),
+		queueWait: reg.Histogram("runner_queue_wait_seconds", waitBounds),
+		service:   reg.Histogram("runner_cell_service_seconds", waitBounds),
+		busyNs:    reg.Counter("runner_busy_ns_total"),
+		start:     time.Now(),
+	}
+	reg.Gauge("runner_workers").Set(float64(p.workers))
+}
+
 // Close stops accepting work and waits for in-flight cells to finish.
-// Close on a nil pool is a no-op.
+// Close on a nil pool is a no-op. With metrics enabled the first Close
+// also freezes the derived whole-run gauges (worker utilization,
+// cells/sec).
 func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	if !p.closed {
+	obs := p.obs
+	closing := !p.closed
+	if closing {
 		p.closed = true
 		close(p.tasks)
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+	if closing && obs != nil {
+		elapsed := time.Since(obs.start).Seconds()
+		if elapsed > 0 {
+			busy := float64(obs.busyNs.Value()) / 1e9
+			obs.reg.Gauge("runner_worker_utilization").Set(busy / (elapsed * float64(p.workers)))
+			obs.reg.Gauge("runner_cells_per_second").Set(float64(p.done.Load()) / elapsed)
+		}
+	}
 }
 
 // Future is the pending result of one submitted cell.
 type Future[T any] struct {
 	done chan struct{}
 	val  T
-	pan  any // recovered panic value, re-raised at Get
+	err  error // set when the cell panicked
 }
 
 // Get blocks until the cell has run and returns its value. If the cell
-// panicked, Get re-panics with the cell's panic value on the caller's
-// goroutine, so failures surface where the experiment is assembled.
+// panicked, Get re-panics with the cell's error on the caller's
+// goroutine, so failures surface where the experiment is assembled;
+// use TryGet or Err to handle a failed cell without unwinding.
 func (f *Future[T]) Get() T {
 	<-f.done
-	if f.pan != nil {
-		panic(f.pan)
+	if f.err != nil {
+		panic(f.err)
 	}
 	return f.val
+}
+
+// TryGet blocks until the cell has run and returns its value, or the
+// cell's panic converted to an error (with the worker's stack) — the
+// non-crashing read: one failed cell fails only itself.
+func (f *Future[T]) TryGet() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Err blocks until the cell has run and reports its panic as an error,
+// or nil on success.
+func (f *Future[T]) Err() error {
+	<-f.done
+	return f.err
+}
+
+// run executes fn guarding against panics; it is the single execution
+// path for inline and pooled cells.
+func (f *Future[T]) run(fn func() T) {
+	defer close(f.done)
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("runner: cell panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	f.val = fn()
 }
 
 // Submit schedules fn as one cell on the pool and returns its Future.
@@ -107,18 +207,28 @@ func (f *Future[T]) Get() T {
 func Submit[T any](p *Pool, fn func() T) *Future[T] {
 	f := &Future[T]{done: make(chan struct{})}
 	if p == nil {
-		f.val = fn()
-		close(f.done)
+		f.run(fn)
 		return f
 	}
+	obs := p.obs
+	var submitted time.Time
+	if obs != nil {
+		submitted = time.Now()
+	}
 	p.tasks <- func() {
-		defer close(f.done)
-		defer func() {
-			if r := recover(); r != nil {
-				f.pan = fmt.Errorf("runner: cell panicked: %v", r)
-			}
-		}()
-		f.val = fn()
+		if obs == nil {
+			f.run(fn)
+			p.done.Add(1)
+			return
+		}
+		started := time.Now()
+		obs.queueWait.Observe(started.Sub(submitted).Seconds())
+		f.run(fn)
+		d := time.Since(started)
+		p.done.Add(1)
+		obs.service.Observe(d.Seconds())
+		obs.busyNs.Add(uint64(d.Nanoseconds()))
+		obs.tasks.Inc()
 	}
 	return f
 }
@@ -126,7 +236,8 @@ func Submit[T any](p *Pool, fn func() T) *Future[T] {
 // Map evaluates fn(0..n-1) as n independent cells and returns the
 // results in index order — the canonical-merge primitive. The order of
 // the returned slice (and therefore any table built from it) is
-// independent of the pool size.
+// independent of the pool size. A panicked cell re-panics here, on the
+// assembling goroutine.
 func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	futs := make([]*Future[T], n)
 	for i := range futs {

@@ -139,3 +139,64 @@ func TestCloseIdempotent(t *testing.T) {
 	p.Close()
 	p.Close() // second close must not panic
 }
+
+func TestPanicIsolatedToCell(t *testing.T) {
+	// One panicking grid cell must fail only its own Future: every
+	// other cell completes and the process survives.
+	p := New(4)
+	defer p.Close()
+	const n = 16
+	futs := make([]*Future[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = Submit(p, func() int {
+			if i == 5 {
+				panic("cell 5 boom")
+			}
+			return i * i
+		})
+	}
+	for i, f := range futs {
+		v, err := f.TryGet()
+		if i == 5 {
+			if err == nil {
+				t.Fatal("cell 5 must report its panic as an error")
+			}
+			if !strings.Contains(err.Error(), "cell 5 boom") {
+				t.Fatalf("error lost the panic message: %v", err)
+			}
+			if !strings.Contains(err.Error(), "runner_test.go") {
+				t.Fatalf("error should carry the worker stack, got: %.120s", err.Error())
+			}
+			if f.Err() == nil {
+				t.Fatal("Err must agree with TryGet")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("healthy cell %d failed: %v", i, err)
+		}
+		if v != i*i {
+			t.Fatalf("cell %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestInlinePanicCapturedToo(t *testing.T) {
+	f := Submit[int](nil, func() int { panic("inline boom") })
+	if err := f.Err(); err == nil || !strings.Contains(err.Error(), "inline boom") {
+		t.Fatalf("inline cell panic not captured: %v", err)
+	}
+}
+
+func TestTasksDoneCounts(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	Map(p, 10, func(i int) int { return i })
+	if got := p.TasksDone(); got != 10 {
+		t.Fatalf("TasksDone = %d, want 10", got)
+	}
+	if (*Pool)(nil).TasksDone() != 0 {
+		t.Fatal("nil pool must report 0 tasks")
+	}
+}

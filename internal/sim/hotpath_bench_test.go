@@ -1,87 +1,18 @@
-package sim
+package sim_test
 
 import (
 	"testing"
 
-	"armbar/internal/isa"
-	"armbar/internal/platform"
+	"armbar/internal/simbench"
 )
 
-// Microbenchmarks for the simulator hot path: the thread↔scheduler
-// rendezvous and the buffered-store commit machinery. Regenerate the
-// committed snapshot with `make bench-snapshot` (BENCH_sim.json) so
-// future PRs have a trajectory to compare against.
+// The simulator hot-path microbenchmark bodies live in
+// internal/simbench so the `armbar perfcheck` regression gate can
+// rerun exactly what these wrappers measure. Regenerate the committed
+// snapshot with `make bench-snapshot` (BENCH_sim.json); the wrapper
+// names here must match its entries.
 
-// BenchmarkRendezvousLoadHit is the floor of a simulated operation:
-// cache-hit loads with nothing in flight, so the measured cost is the
-// park/wake rendezvous plus the load bookkeeping.
-func BenchmarkRendezvousLoadHit(b *testing.B) {
-	m := New(Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
-	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *Thread) {
-		for i := 0; i < n; i++ {
-			t.Load(addr)
-		}
-	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	m.Run()
-}
-
-// BenchmarkRendezvousTwoThreads interleaves two runnable threads so
-// every operation also pays the scheduler's min-time pick between
-// parked requests.
-func BenchmarkRendezvousTwoThreads(b *testing.B) {
-	m := New(Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
-	a1, a2 := m.Alloc(1), m.Alloc(1)
-	n := b.N / 2
-	body := func(addr uint64) func(*Thread) {
-		return func(t *Thread) {
-			for i := 0; i < n; i++ {
-				t.Load(addr)
-			}
-		}
-	}
-	m.Spawn(0, body(a1))
-	m.Spawn(4, body(a2))
-	b.ReportAllocs()
-	b.ResetTimer()
-	m.Run()
-}
-
-// BenchmarkStoreCommit drives the buffered-store path end to end:
-// issue into the store buffer, schedule the commit event, drain it
-// through the event heap, apply it to the directory. With the event
-// free list this allocates nothing per store in steady state.
-func BenchmarkStoreCommit(b *testing.B) {
-	m := New(Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
-	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *Thread) {
-		for i := 0; i < n; i++ {
-			t.Store(addr, uint64(i))
-		}
-	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	m.Run()
-}
-
-// BenchmarkStoreDMBFull alternates a store with a full barrier, the
-// paper's fenced-stream pattern: every barrier waits out the pending
-// commit through the ACE fabric model.
-func BenchmarkStoreDMBFull(b *testing.B) {
-	m := New(Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
-	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *Thread) {
-		for i := 0; i < n; i++ {
-			t.Store(addr, uint64(i))
-			t.Barrier(isa.DMBFull)
-		}
-	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	m.Run()
-}
+func BenchmarkRendezvousLoadHit(b *testing.B)    { simbench.RendezvousLoadHit(b) }
+func BenchmarkRendezvousTwoThreads(b *testing.B) { simbench.RendezvousTwoThreads(b) }
+func BenchmarkStoreCommit(b *testing.B)          { simbench.StoreCommit(b) }
+func BenchmarkStoreDMBFull(b *testing.B)         { simbench.StoreDMBFull(b) }

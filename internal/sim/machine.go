@@ -71,6 +71,13 @@ type Stats struct {
 	BarrierStalls float64 // total cycles threads spent blocked in barriers
 	MemTxns       uint64
 	SyncTxns      uint64
+
+	// Engine health counters (free with the scheduler's bookkeeping;
+	// they feed the observability layer, see MetricsInto).
+	EventAllocs  uint64 // commit events allocated fresh
+	EventReuses  uint64 // commit events served from the free list
+	MaxEventHeap int    // high-water pending-commit heap depth
+	MaxStoreBuf  int    // high-water store-buffer occupancy (any thread)
 }
 
 // Machine is one simulated multiprocessor run.
@@ -123,6 +130,11 @@ func New(cfg Config) *Machine {
 	}
 	m.dir = mesi.NewDirectory(m.sys)
 	m.fab = ace.NewFabric(m.sys, m.cost)
+	if f := machineTracerFactory.Load(); f != nil {
+		if tr := (*f)(); tr != nil {
+			m.tracer = tr
+		}
+	}
 	return m
 }
 
@@ -259,6 +271,9 @@ func (m *Machine) Run() float64 {
 	m.stats.MemTxns = m.fab.MemTxns
 	m.stats.SyncTxns = m.fab.SyncTxns
 	m.now = finish
+	if reg := globalMetrics.Load(); reg != nil {
+		m.MetricsInto(reg)
+	}
 	return finish
 }
 
@@ -297,8 +312,10 @@ func (m *Machine) newEvent() *event {
 	if n := len(m.freeEv); n > 0 {
 		e := m.freeEv[n-1]
 		m.freeEv = m.freeEv[:n-1]
+		m.stats.EventReuses++
 		return e
 	}
+	m.stats.EventAllocs++
 	return &event{}
 }
 
@@ -324,6 +341,9 @@ func (m *Machine) schedule(ev *event) {
 	m.eventSq++
 	ev.seq = m.eventSq
 	m.events.push(ev)
+	if d := m.events.len(); d > m.stats.MaxEventHeap {
+		m.stats.MaxEventHeap = d
+	}
 }
 
 func (m *Machine) stuckReport(t *Thread) string {

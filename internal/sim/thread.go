@@ -457,6 +457,9 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 	}
 	t.lastAddrStore[addr] = commit
 	e := t.buf.Push(addr, value, t.now, commit)
+	if occ := t.buf.Len(); occ > m.stats.MaxStoreBuf {
+		m.stats.MaxStoreBuf = occ
+	}
 	t.now += m.cost.StoreBufferLatency
 	ev := m.newEvent()
 	ev.time, ev.t, ev.core, ev.sbSeq, ev.addr, ev.value = e.Commit, t, t.core, e.Seq, addr, value

@@ -1,0 +1,104 @@
+// Package simbench defines the simulator hot-path microbenchmarks as
+// exported func(*testing.B) bodies so two harnesses share them: the
+// conventional `go test -bench` wrappers in internal/sim (whose output
+// scripts/bench_snapshot.sh freezes into BENCH_sim.json) and the
+// in-process `armbar perfcheck` regression gate, which reruns them via
+// testing.Benchmark and compares against that snapshot.
+package simbench
+
+import (
+	"testing"
+
+	"armbar/internal/isa"
+	"armbar/internal/platform"
+	"armbar/internal/sim"
+)
+
+// Bench names one microbenchmark. Name matches the wrapper benchmark
+// in internal/sim and the entries of BENCH_sim.json.
+type Bench struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// Benches is the canonical hot-path set, in snapshot order.
+var Benches = []Bench{
+	{"BenchmarkRendezvousLoadHit", RendezvousLoadHit},
+	{"BenchmarkRendezvousTwoThreads", RendezvousTwoThreads},
+	{"BenchmarkStoreCommit", StoreCommit},
+	{"BenchmarkStoreDMBFull", StoreDMBFull},
+}
+
+// RendezvousLoadHit is the floor of a simulated operation: cache-hit
+// loads with nothing in flight, so the measured cost is the park/wake
+// rendezvous plus the load bookkeeping.
+func RendezvousLoadHit(b *testing.B) {
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	addr := m.Alloc(1)
+	n := b.N
+	m.Spawn(0, func(t *sim.Thread) {
+		for i := 0; i < n; i++ {
+			t.Load(addr)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// RendezvousTwoThreads interleaves two runnable threads so every
+// operation also pays the scheduler's min-time pick between parked
+// requests.
+func RendezvousTwoThreads(b *testing.B) {
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	a1, a2 := m.Alloc(1), m.Alloc(1)
+	n := b.N / 2
+	body := func(addr uint64) func(*sim.Thread) {
+		return func(t *sim.Thread) {
+			for i := 0; i < n; i++ {
+				t.Load(addr)
+			}
+		}
+	}
+	m.Spawn(0, body(a1))
+	m.Spawn(4, body(a2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// StoreCommit drives the buffered-store path end to end: issue into
+// the store buffer, schedule the commit event, drain it through the
+// event heap, apply it to the directory. With the event free list this
+// allocates nothing per store in steady state.
+func StoreCommit(b *testing.B) {
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	addr := m.Alloc(1)
+	n := b.N
+	m.Spawn(0, func(t *sim.Thread) {
+		for i := 0; i < n; i++ {
+			t.Store(addr, uint64(i))
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// StoreDMBFull alternates a store with a full barrier, the paper's
+// fenced-stream pattern: every barrier waits out the pending commit
+// through the ACE fabric model.
+func StoreDMBFull(b *testing.B) {
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	addr := m.Alloc(1)
+	n := b.N
+	m.Spawn(0, func(t *sim.Thread) {
+		for i := 0; i < n; i++ {
+			t.Store(addr, uint64(i))
+			t.Barrier(isa.DMBFull)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}

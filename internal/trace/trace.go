@@ -1,8 +1,10 @@
 // Package trace records and renders simulator event streams: a bounded
 // in-memory recorder implementing sim.Tracer, a per-kind/per-thread
-// summary, and a Chrome-trace (about://tracing, Perfetto) JSON
-// exporter for visual inspection of barrier stalls and cache-line
-// ping-pong.
+// summary, a Chrome-trace (about://tracing, Perfetto) JSON exporter
+// for visual inspection of barrier stalls and cache-line ping-pong,
+// and a Collector that merges recordings from many machines (the
+// `armbar -trace-out` path, where every experiment cell builds its own
+// machine).
 package trace
 
 import (
@@ -11,20 +13,24 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"armbar/internal/sim"
 )
 
 // Recorder collects events up to a cap (0 = unlimited). It implements
-// sim.Tracer.
+// sim.Tracer. When full it behaves as a ring buffer keeping the most
+// recent Cap events — the tail of a run is what debugging usually
+// needs — and counts the overwritten ones in Dropped.
 type Recorder struct {
 	Cap     int
 	events  []sim.TraceEvent
+	start   int // ring head: index of the oldest retained event
 	dropped int
 }
 
-// NewRecorder returns a recorder keeping at most capacity events
-// (0 = unlimited).
+// NewRecorder returns a recorder keeping at most the last capacity
+// events (0 = unlimited).
 func NewRecorder(capacity int) *Recorder {
 	return &Recorder{Cap: capacity}
 }
@@ -32,22 +38,38 @@ func NewRecorder(capacity int) *Recorder {
 // Event implements sim.Tracer.
 func (r *Recorder) Event(ev sim.TraceEvent) {
 	if r.Cap > 0 && len(r.events) >= r.Cap {
+		// Overwrite the oldest retained event.
+		r.events[r.start] = ev
+		r.start++
+		if r.start == len(r.events) {
+			r.start = 0
+		}
 		r.dropped++
 		return
 	}
 	r.events = append(r.events, ev)
 }
 
-// Events returns the recorded events in arrival order.
-func (r *Recorder) Events() []sim.TraceEvent { return r.events }
+// Events returns the retained events in arrival order (for a capped,
+// overflowing recorder: the most recent Cap events).
+func (r *Recorder) Events() []sim.TraceEvent {
+	if r.start == 0 {
+		return r.events
+	}
+	out := make([]sim.TraceEvent, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
 
-// Dropped reports how many events exceeded the cap.
+// Dropped reports how many events the cap pushed out of the ring.
 func (r *Recorder) Dropped() int { return r.dropped }
 
 // Summary aggregates a recording.
 type Summary struct {
 	PerKind   map[sim.TraceKind]KindStats
 	PerThread map[int]ThreadStats
+	Dropped   int // events lost to the recorder cap before this summary
 }
 
 // KindStats is the aggregate for one operation kind.
@@ -68,8 +90,9 @@ func (r *Recorder) Summarize() Summary {
 	s := Summary{
 		PerKind:   make(map[sim.TraceKind]KindStats),
 		PerThread: make(map[int]ThreadStats),
+		Dropped:   r.dropped,
 	}
-	for _, ev := range r.events {
+	for _, ev := range r.events { // aggregation is order-independent
 		d := ev.End - ev.Start
 		k := s.PerKind[ev.Kind]
 		k.Count++
@@ -112,6 +135,9 @@ func (s Summary) String() string {
 		fmt.Fprintf(&b, "  t%-3d %8d ops %12.1f cycles (%.1f stalled in barriers)\n",
 			t, ts.Ops, ts.Cycles, ts.BarrierStall)
 	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(&b, "dropped: %d events beyond the recorder cap (oldest first)\n", s.Dropped)
+	}
 	return b.String()
 }
 
@@ -127,12 +153,9 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
-// WriteChromeJSON exports the recording in Chrome trace-event format
-// (load into Perfetto or chrome://tracing). Cycles map to microseconds
-// one-to-one so the UI's units read as cycles.
-func (r *Recorder) WriteChromeJSON(w io.Writer) error {
-	out := make([]chromeEvent, 0, len(r.events))
-	for _, ev := range r.events {
+// appendChromeEvents converts events under the given pid.
+func appendChromeEvents(out []chromeEvent, pid int, events []sim.TraceEvent) []chromeEvent {
+	for _, ev := range events {
 		name := ev.Kind.String()
 		if ev.Detail != "" {
 			name += ":" + ev.Detail
@@ -152,11 +175,19 @@ func (r *Recorder) WriteChromeJSON(w io.Writer) error {
 			Ph:   "X",
 			Ts:   ev.Start,
 			Dur:  dur,
-			Pid:  0,
+			Pid:  pid,
 			Tid:  ev.Thread,
 			Args: args,
 		})
 	}
+	return out
+}
+
+// WriteChromeJSON exports the recording in Chrome trace-event format
+// (load into Perfetto or chrome://tracing). Cycles map to microseconds
+// one-to-one so the UI's units read as cycles.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	out := appendChromeEvents(make([]chromeEvent, 0, len(r.events)), 0, r.Events())
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": out})
 }
@@ -201,4 +232,83 @@ func (r *Recorder) HotLines(n int) []struct {
 		}{all[i].Line, all[i].Commits}
 	}
 	return out
+}
+
+// Collector hands one bounded Recorder to each machine that asks (via
+// sim.SetMachineTracerFactory) and merges the recordings into a single
+// Chrome trace with one pid per machine. Machines beyond MaxMachines
+// get no tracer at all (counted in Skipped) so a full-registry run
+// cannot hold unbounded memory.
+type Collector struct {
+	perMachineCap int
+	maxMachines   int
+
+	mu      sync.Mutex
+	recs    []*Recorder
+	skipped int
+}
+
+// NewCollector returns a collector keeping at most perMachineCap
+// events per machine (0 = unlimited) from at most maxMachines machines
+// (<= 0 defaults to 256).
+func NewCollector(perMachineCap, maxMachines int) *Collector {
+	if maxMachines <= 0 {
+		maxMachines = 256
+	}
+	return &Collector{perMachineCap: perMachineCap, maxMachines: maxMachines}
+}
+
+// NewTracer registers and returns a fresh recorder, or nil once the
+// machine budget is exhausted. Safe for concurrent use; pass it to
+// sim.SetMachineTracerFactory.
+func (c *Collector) NewTracer() sim.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.recs) >= c.maxMachines {
+		c.skipped++
+		return nil
+	}
+	rec := NewRecorder(c.perMachineCap)
+	c.recs = append(c.recs, rec)
+	return rec
+}
+
+// Machines reports how many machines received a recorder.
+func (c *Collector) Machines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// Skipped reports how many machines ran untraced because the budget
+// was exhausted.
+func (c *Collector) Skipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
+}
+
+// Dropped sums the events lost to per-machine caps.
+func (c *Collector) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.recs {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// WriteChromeJSON writes every machine's recording into one Chrome
+// trace, pid = machine registration order. Call only after the traced
+// machines have finished running.
+func (c *Collector) WriteChromeJSON(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []chromeEvent
+	for pid, rec := range c.recs {
+		out = appendChromeEvents(out, pid, rec.Events())
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
 }

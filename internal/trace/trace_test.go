@@ -133,3 +133,97 @@ func TestTracingIsOptionalAndHarmless(t *testing.T) {
 		t.Fatal("tracing changed simulation results")
 	}
 }
+
+func TestRingKeepsNewestEvents(t *testing.T) {
+	rec := NewRecorder(10)
+	for i := 0; i < 15; i++ {
+		rec.Event(sim.TraceEvent{Kind: sim.TraceWork, Thread: 0,
+			Start: float64(i), End: float64(i) + 1})
+	}
+	evs := rec.Events()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d events, want 10", len(evs))
+	}
+	if rec.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", rec.Dropped())
+	}
+	for i, ev := range evs {
+		if want := float64(5 + i); ev.Start != want {
+			t.Fatalf("event %d starts at %g, want %g — ring must keep the newest in order",
+				i, ev.Start, want)
+		}
+	}
+}
+
+func TestSummaryReportsDropped(t *testing.T) {
+	rec := record(t, 10)
+	s := rec.Summarize()
+	if s.Dropped == 0 || s.Dropped != rec.Dropped() {
+		t.Fatalf("Summary.Dropped = %d, recorder dropped %d", s.Dropped, rec.Dropped())
+	}
+	if !strings.Contains(s.String(), "dropped:") {
+		t.Fatalf("summary text must surface the drop count:\n%s", s.String())
+	}
+	if strings.Contains(record(t, 0).Summarize().String(), "dropped:") {
+		t.Fatal("an uncapped recording must not report drops")
+	}
+}
+
+// TestChromeGoldenJSON freezes the exporter's byte-exact output for a
+// tiny deterministic recording: three hand-fed events covering a
+// detailed op, an arg-less barrier, and the zero-duration commit
+// floor.
+func TestChromeGoldenJSON(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Event(sim.TraceEvent{Thread: 0, Kind: sim.TraceLoad, Addr: 0x40,
+		Start: 0, End: 2, Detail: "miss"})
+	rec.Event(sim.TraceEvent{Thread: 1, Kind: sim.TraceBarrier,
+		Start: 2.5, End: 10, Detail: "DMB full"})
+	rec.Event(sim.TraceEvent{Thread: 0, Kind: sim.TraceCommit, Addr: 0x40,
+		Start: 3, End: 3})
+	var buf bytes.Buffer
+	if err := rec.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"traceEvents":[` +
+		`{"name":"load:miss","cat":"load","ph":"X","ts":0,"dur":2,"pid":0,"tid":0,"args":{"addr":"0x40","line":"1"}},` +
+		`{"name":"barrier:DMB full","cat":"barrier","ph":"X","ts":2.5,"dur":7.5,"pid":0,"tid":1},` +
+		`{"name":"commit","cat":"commit","ph":"X","ts":3,"dur":0.01,"pid":0,"tid":0,"args":{"addr":"0x40","line":"1"}}` +
+		`]}` + "\n"
+	if got := buf.String(); got != golden {
+		t.Fatalf("chrome export drifted from golden:\ngot:  %s\nwant: %s", got, golden)
+	}
+}
+
+func TestCollectorMergesMachines(t *testing.T) {
+	c := NewCollector(0, 2)
+	tr1 := c.NewTracer()
+	tr2 := c.NewTracer()
+	if tr3 := c.NewTracer(); tr3 != nil {
+		t.Fatal("collector must stop handing out tracers past its machine budget")
+	}
+	if c.Machines() != 2 || c.Skipped() != 1 {
+		t.Fatalf("machines/skipped = %d/%d, want 2/1", c.Machines(), c.Skipped())
+	}
+	tr1.Event(sim.TraceEvent{Thread: 0, Kind: sim.TraceWork, Start: 0, End: 1})
+	tr2.Event(sim.TraceEvent{Thread: 0, Kind: sim.TraceWork, Start: 5, End: 6})
+	var buf bytes.Buffer
+	if err := c.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Pid int     `json:"pid"`
+			Ts  float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("merged %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Pid != 0 || doc.TraceEvents[1].Pid != 1 {
+		t.Fatalf("pids must identify machines: %+v", doc.TraceEvents)
+	}
+}

@@ -34,5 +34,21 @@ END {
     print "}"
 }' > "$out"
 
-echo "wrote $out:"
+# A snapshot is only comparable to runs from the same toolchain and
+# commit, so record where it came from next to it.
+manifest=BENCH_sim.manifest.json
+rev=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+dirty=$(git status --porcelain 2>/dev/null | grep -q . && echo '+dirty' || true)
+cat > "$manifest" <<EOF
+{
+  "tool": "bench_snapshot.sh",
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go_version": "$(go env GOVERSION)",
+  "git_revision": "$rev$dirty",
+  "gomaxprocs": ${GOMAXPROCS:-$(nproc)},
+  "snapshot": "$out"
+}
+EOF
+
+echo "wrote $out and $manifest:"
 cat "$out"

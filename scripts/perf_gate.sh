@@ -1,0 +1,13 @@
+#!/bin/sh
+# Perf-regression gate: rerun the simulator hot-path microbenchmarks
+# in-process and compare them against the committed BENCH_sim.json.
+# Exits non-zero (with a readable delta table) when ns/op regresses
+# beyond the threshold or allocs/op grow at all. Run from anywhere;
+# extra arguments are passed straight to `armbar perfcheck`, e.g.
+#
+#   scripts/perf_gate.sh -threshold 1.5
+#   scripts/perf_gate.sh -handicap 2     # demonstrate a failing gate
+set -eu
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/armbar perfcheck "$@"
