@@ -2,10 +2,10 @@ GO ?= go
 
 # The verify chain is what CI (and any contributor) runs before a
 # merge: full build, vet, the whole test suite, the concurrency
-# packages again under the race detector, then the perf-regression
-# gate against the committed BENCH_sim.json. `-run 'Test'` keeps the
-# race pass on the (fast) unit tests of the pool and the core
-# primitives.
+# packages again under the race detector (including the simulator's
+# direct-dispatch scheduler), then the perf-regression gate against
+# the committed BENCH_sim.json. `-run 'Test'` keeps the race pass on
+# the (fast) unit tests rather than the benchmarks.
 .PHONY: verify
 verify: build vet test race perfcheck
 
@@ -23,7 +23,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race -run Test ./internal/runner ./internal/core
+	$(GO) test -race -run Test ./internal/runner ./internal/core ./internal/sim ./internal/sb
 
 # Full determinism sweep: every registered experiment, sequential vs
 # -par 8, two seeds. Minutes of wall clock; run before merging

@@ -14,15 +14,18 @@ import (
 // perfcheckMain implements `armbar perfcheck`: rerun the simulator
 // hot-path microbenchmarks in-process (via testing.Benchmark, the same
 // bodies `go test -bench` measures) and gate them against the
-// committed BENCH_sim.json. Exit status 1 means a regression.
+// committed BENCH_sim.json. Exit status 1 means a regression — or an
+// improvement so large the committed snapshot went stale and must be
+// regenerated with `make bench-snapshot`.
 func perfcheckMain(argv []string) int {
 	fs := flag.NewFlagSet("perfcheck", flag.ExitOnError)
 	snapPath := fs.String("snapshot", "BENCH_sim.json", "committed benchmark snapshot to gate against")
 	threshold := fs.Float64("threshold", 1.8, "fail when ns/op exceeds the snapshot by this ratio")
+	improve := fs.Float64("improve-threshold", 1.5, "fail when ns/op improves beyond this ratio (stale snapshot; 0 disables)")
 	runs := fs.Int("runs", 3, "repetitions per benchmark; the fastest repetition is compared (noise guard)")
 	handicap := fs.Float64("handicap", 1, "multiply measured ns/op — inject a synthetic slowdown to demonstrate the gate")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: armbar perfcheck [-snapshot file] [-threshold x] [-runs n] [-handicap x]\n")
+		fmt.Fprintf(fs.Output(), "usage: armbar perfcheck [-snapshot file] [-threshold x] [-improve-threshold x] [-runs n] [-handicap x]\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(argv)
@@ -57,10 +60,10 @@ func perfcheckMain(argv []string) int {
 		cur = append(cur, best)
 	}
 
-	deltas, ok := perfgate.Compare(snap, cur, *threshold)
-	fmt.Print(perfgate.Table(deltas, *threshold))
+	deltas, ok := perfgate.Compare(snap, cur, *threshold, *improve)
+	fmt.Print(perfgate.Table(deltas, *threshold, *improve))
 	if !ok {
-		fmt.Println("perfcheck: FAIL — hot-path performance regressed beyond the gate")
+		fmt.Println("perfcheck: FAIL — hot-path performance moved beyond the gate (regression, or an improvement that needs a snapshot refresh)")
 		return 1
 	}
 	fmt.Println("perfcheck: OK")

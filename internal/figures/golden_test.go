@@ -1,0 +1,50 @@
+package figures_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"testing"
+
+	"armbar/internal/figures"
+)
+
+// Golden digests of the rendered quick-mode CSV at the canonical seed
+// 42 (the `armbar -quick all` configuration). They pin the simulator's
+// exact service order and rng draw sequence: any scheduler change that
+// drifts either — even by one op — changes every downstream number and
+// fails here immediately, long before a full-scale regeneration would.
+//
+// goldenFastDigest covers the fastSubset (every experiment package,
+// cheap enough for every `go test`); goldenAllDigest is the complete
+// registry, checked under ARMBAR_DETERMINISM_FULL=1 (`make
+// determinism`). Regenerate with:
+//
+//	go test -run TestQuickOutputDigest ./internal/figures -v
+//	ARMBAR_DETERMINISM_FULL=1 go test -run TestQuickOutputDigest ./internal/figures -v
+//
+// and paste the printed digests — but only after convincing yourself
+// the drift is intended (a semantics change, not a scheduler bug).
+const (
+	goldenFastDigest = "72b30bfa573e9fe4d805b9a433d1055d574ca31ec8c1ad0635a7a0ff6f54d4c5"
+	goldenAllDigest  = "435c9a48192d07e32db664efacf2583d023b02171f36f36305e0652db8362e99"
+)
+
+// TestQuickOutputDigest is the direct-dispatch scheduler's determinism
+// regression: the engine must keep serving threads in min-(time,id)
+// order with an unchanged rng sequence, byte for byte.
+func TestQuickOutputDigest(t *testing.T) {
+	names := fastSubset
+	want := goldenFastDigest
+	if os.Getenv("ARMBAR_DETERMINISM_FULL") != "" {
+		names = figures.Names()
+		want = goldenAllDigest
+	}
+	out := render(figures.Options{Quick: true, Seed: 42}, names)
+	sum := sha256.Sum256([]byte(out))
+	got := hex.EncodeToString(sum[:])
+	if got != want {
+		t.Fatalf("quick-mode output drifted from the golden digest\n got %s\nwant %s\n(%d experiments, %d bytes rendered; see the comment above the digests before regenerating)",
+			got, want, len(names), len(out))
+	}
+}

@@ -3,7 +3,9 @@
 // gate. It loads the snapshot, compares freshly measured results
 // against it, and renders a readable delta table; `armbar perfcheck`
 // (and `make perfcheck`) drive it and fail the build when ns/op or
-// allocs/op regress beyond the threshold.
+// allocs/op regress beyond the threshold — or when ns/op improves so
+// far past the snapshot that the baseline itself has gone stale and
+// must be regenerated.
 package perfgate
 
 import (
@@ -65,9 +67,17 @@ type Delta struct {
 // ns/op exceeds the snapshot by more than nsThreshold (a ratio, e.g.
 // 1.8 = 80% slower), when allocs/op grew at all (allocation counts are
 // deterministic, so any growth is a real regression), or when a
-// snapshot benchmark was not measured. Improvements always pass. The
-// bool result is true only when every snapshot entry passes.
-func Compare(snap *Snapshot, cur []Bench, nsThreshold float64) ([]Delta, bool) {
+// snapshot benchmark was not measured.
+//
+// Large improvements fail the gate too: when ns/op drops below
+// 1/improveThreshold of the snapshot (e.g. improveThreshold 1.5 = more
+// than 1.5x faster), the snapshot no longer describes the code and a
+// regression back to the old level would slip through unnoticed — the
+// fix is to refresh BENCH_sim.json (make bench-snapshot), which makes
+// the speedup part of the enforced baseline. improveThreshold <= 0
+// disables that side of the gate. The bool result is true only when
+// every snapshot entry passes.
+func Compare(snap *Snapshot, cur []Bench, nsThreshold, improveThreshold float64) ([]Delta, bool) {
 	byName := make(map[string]Bench, len(cur))
 	for _, b := range cur {
 		byName[b.Name] = b
@@ -96,6 +106,9 @@ func Compare(snap *Snapshot, cur []Bench, nsThreshold float64) ([]Delta, bool) {
 				d.Reason = fmt.Sprintf("ns/op %.2fx over snapshot (limit %.2fx)", d.Ratio, nsThreshold)
 			case c.AllocsPerOp > base.AllocsPerOp:
 				d.Reason = fmt.Sprintf("allocs/op grew %d -> %d", base.AllocsPerOp, c.AllocsPerOp)
+			case improveThreshold > 0 && d.Ratio > 0 && d.Ratio*improveThreshold < 1:
+				d.Reason = fmt.Sprintf("ns/op improved %.2fx, beyond the %.2fx gate — stale snapshot, refresh with `make bench-snapshot`",
+					1/d.Ratio, improveThreshold)
 			}
 		}
 		d.OK = d.Reason == ""
@@ -108,7 +121,7 @@ func Compare(snap *Snapshot, cur []Bench, nsThreshold float64) ([]Delta, bool) {
 }
 
 // Table renders the deltas as an aligned, readable report.
-func Table(deltas []Delta, nsThreshold float64) string {
+func Table(deltas []Delta, nsThreshold, improveThreshold float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-32s %10s %10s %7s %8s %8s  %s\n",
 		"benchmark", "base ns/op", "cur ns/op", "ratio", "allocs", "status", "")
@@ -120,6 +133,10 @@ func Table(deltas []Delta, nsThreshold float64) string {
 		fmt.Fprintf(&b, "%-32s %10.1f %10.1f %6.2fx %4d->%-3d %8s  %s\n",
 			d.Name, d.BaseNs, d.CurNs, d.Ratio, d.BaseAllocs, d.CurAllocs, status, note)
 	}
-	fmt.Fprintf(&b, "gate: ns/op limit %.2fx of snapshot; allocs/op may not grow\n", nsThreshold)
+	fmt.Fprintf(&b, "gate: ns/op limit %.2fx of snapshot; allocs/op may not grow", nsThreshold)
+	if improveThreshold > 0 {
+		fmt.Fprintf(&b, "; improvements beyond %.2fx require a snapshot refresh", improveThreshold)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }

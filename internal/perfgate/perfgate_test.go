@@ -21,7 +21,7 @@ func TestComparePasses(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 520, AllocsPerOp: 0},
 		{Name: "BenchmarkB", NsPerOp: 700, AllocsPerOp: 2}, // improvement
 	}
-	deltas, ok := Compare(snap(), cur, 1.8)
+	deltas, ok := Compare(snap(), cur, 1.8, 1.5)
 	if !ok {
 		t.Fatalf("healthy run must pass: %+v", deltas)
 	}
@@ -39,7 +39,7 @@ func TestCompareFailsOnTwoXSlowdown(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 0}, // 2.0x
 		{Name: "BenchmarkB", NsPerOp: 1050, AllocsPerOp: 2},
 	}
-	deltas, ok := Compare(snap(), cur, 1.8)
+	deltas, ok := Compare(snap(), cur, 1.8, 1.5)
 	if ok {
 		t.Fatal("a 2x slowdown must fail the gate")
 	}
@@ -56,7 +56,7 @@ func TestCompareFailsOnAllocGrowth(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 1}, // 0 -> 1
 		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 2},
 	}
-	deltas, ok := Compare(snap(), cur, 1.8)
+	deltas, ok := Compare(snap(), cur, 1.8, 1.5)
 	if ok || deltas[0].OK {
 		t.Fatal("any allocs/op growth must fail the gate")
 	}
@@ -65,9 +65,39 @@ func TestCompareFailsOnAllocGrowth(t *testing.T) {
 	}
 }
 
+func TestCompareFailsOnLargeImprovement(t *testing.T) {
+	// A 2x speedup means the committed snapshot no longer describes the
+	// code: the gate must demand a refresh rather than silently letting
+	// the new baseline float.
+	cur := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 250, AllocsPerOp: 0}, // 2x faster
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 2},
+	}
+	deltas, ok := Compare(snap(), cur, 1.8, 1.5)
+	if ok || deltas[0].OK {
+		t.Fatal("an improvement beyond the gate must fail until the snapshot is refreshed")
+	}
+	if !strings.Contains(deltas[0].Reason, "bench-snapshot") {
+		t.Fatalf("improvement failure must point at the snapshot refresh: %+v", deltas[0])
+	}
+	if !deltas[1].OK {
+		t.Fatalf("the unchanged benchmark must still pass: %+v", deltas[1])
+	}
+}
+
+func TestCompareImprovementGateDisabled(t *testing.T) {
+	cur := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 250, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 400, AllocsPerOp: 2},
+	}
+	if _, ok := Compare(snap(), cur, 1.8, 0); !ok {
+		t.Fatal("improveThreshold 0 must disable the improvement gate")
+	}
+}
+
 func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	cur := []Bench{{Name: "BenchmarkA", NsPerOp: 500}}
-	_, ok := Compare(snap(), cur, 1.8)
+	_, ok := Compare(snap(), cur, 1.8, 1.5)
 	if ok {
 		t.Fatal("a snapshot benchmark that was not measured must fail")
 	}
@@ -78,8 +108,8 @@ func TestTableRendersStatus(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 0},
 		{Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 2},
 	}
-	deltas, _ := Compare(snap(), cur, 1.8)
-	out := Table(deltas, 1.8)
+	deltas, _ := Compare(snap(), cur, 1.8, 1.5)
+	out := Table(deltas, 1.8, 1.5)
 	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "ok") {
 		t.Fatalf("delta table must mark pass/fail:\n%s", out)
 	}

@@ -1,0 +1,99 @@
+package sim
+
+// addrTimes maps addresses to the last scheduled commit time of the
+// owning thread's stores there (the per-location coherence floor). It
+// replaces a built-in map[uint64]float64 on the store hot path: every
+// buffered store pays one lookup and one insert, and a thread's store
+// working set is a handful of cache lines, so an open-addressed table
+// with linear probing beats the runtime map's generic bucket machinery
+// by a wide margin (see BenchmarkLastStoreTable/Map).
+//
+// Lookups of absent keys return 0, matching the map zero value the
+// commit-floor logic was written against. Address 0 is representable
+// (a dedicated slot) even though Alloc never hands it out, so the
+// table is a drop-in replacement for any caller.
+type addrTimes struct {
+	keys []uint64  // 0 marks an empty slot
+	vals []float64 // parallel to keys
+	n    int       // occupied slots
+	zero float64   // value for key 0, kept outside the table
+
+	shift uint // 64 - log2(len(keys)), for the multiplicative hash
+}
+
+// addrTimesMinCap is the initial table size: bigger than the store
+// working set of nearly every simulated loop, so growth is rare.
+const addrTimesMinCap = 16
+
+func newAddrTimes() *addrTimes {
+	return &addrTimes{
+		keys:  make([]uint64, addrTimesMinCap),
+		vals:  make([]float64, addrTimesMinCap),
+		shift: 64 - 4,
+	}
+}
+
+// hash spreads line-aligned addresses (low bits all zero) across the
+// table with a Fibonacci multiplier.
+func (a *addrTimes) hash(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> a.shift)
+}
+
+// get returns the recorded time for key, or 0 when absent.
+func (a *addrTimes) get(key uint64) float64 {
+	if key == 0 {
+		return a.zero
+	}
+	mask := len(a.keys) - 1
+	for i := a.hash(key); ; i = (i + 1) & mask {
+		switch a.keys[i] {
+		case key:
+			return a.vals[i]
+		case 0:
+			return 0
+		}
+	}
+}
+
+// put records v for key, overwriting any previous value.
+func (a *addrTimes) put(key uint64, v float64) {
+	if key == 0 {
+		a.zero = v
+		return
+	}
+	mask := len(a.keys) - 1
+	for i := a.hash(key); ; i = (i + 1) & mask {
+		switch a.keys[i] {
+		case key:
+			a.vals[i] = v
+			return
+		case 0:
+			a.keys[i], a.vals[i] = key, v
+			a.n++
+			// Grow at 3/4 load so probe chains stay short.
+			if 4*a.n >= 3*len(a.keys) {
+				a.grow()
+			}
+			return
+		}
+	}
+}
+
+// grow doubles the table and reinserts every live entry.
+func (a *addrTimes) grow() {
+	keys, vals := a.keys, a.vals
+	a.keys = make([]uint64, 2*len(keys))
+	a.vals = make([]float64, 2*len(vals))
+	a.shift--
+	mask := len(a.keys) - 1
+	for j, key := range keys {
+		if key == 0 {
+			continue
+		}
+		i := a.hash(key)
+		for a.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		a.keys[i], a.vals[i] = key, vals[j]
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddrTimesBasics(t *testing.T) {
+	a := newAddrTimes()
+	if got := a.get(0x40); got != 0 {
+		t.Fatalf("absent key: got %v, want 0", got)
+	}
+	a.put(0x40, 12.5)
+	a.put(0x80, 99)
+	a.put(0x40, 13.75) // overwrite
+	if got := a.get(0x40); got != 13.75 {
+		t.Fatalf("get(0x40) = %v, want 13.75", got)
+	}
+	if got := a.get(0x80); got != 99 {
+		t.Fatalf("get(0x80) = %v, want 99", got)
+	}
+	if got := a.get(0xc0); got != 0 {
+		t.Fatalf("get(absent) = %v, want 0", got)
+	}
+}
+
+func TestAddrTimesZeroKey(t *testing.T) {
+	a := newAddrTimes()
+	if got := a.get(0); got != 0 {
+		t.Fatalf("get(0) before put = %v, want 0", got)
+	}
+	a.put(0, 7)
+	if got := a.get(0); got != 7 {
+		t.Fatalf("get(0) = %v, want 7", got)
+	}
+	if a.n != 0 {
+		t.Fatalf("zero key must not occupy a table slot, n = %d", a.n)
+	}
+}
+
+// TestAddrTimesMatchesMap drives the table and a reference map through
+// the same randomized workload, including enough distinct keys to
+// force several growth cycles, and checks every lookup agrees.
+func TestAddrTimesMatchesMap(t *testing.T) {
+	a := newAddrTimes()
+	ref := make(map[uint64]float64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		// Line-aligned addresses, as produced by Alloc.
+		key := uint64(rng.Intn(4096)) << 6
+		if rng.Intn(3) == 0 {
+			if got, want := a.get(key), ref[key]; got != want {
+				t.Fatalf("step %d: get(%#x) = %v, want %v", i, key, got, want)
+			}
+		} else {
+			v := rng.Float64() * 1e9
+			a.put(key, v)
+			ref[key] = v
+		}
+	}
+	for key, want := range ref {
+		if got := a.get(key); got != want {
+			t.Fatalf("final get(%#x) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestAddrTimesGrowth(t *testing.T) {
+	a := newAddrTimes()
+	const n = 1000
+	for i := uint64(1); i <= n; i++ {
+		a.put(i<<6, float64(i))
+	}
+	if len(a.keys) < n {
+		t.Fatalf("table did not grow: cap %d for %d keys", len(a.keys), n)
+	}
+	if 4*a.n >= 3*len(a.keys) {
+		t.Fatalf("load factor above 3/4 after growth: %d/%d", a.n, len(a.keys))
+	}
+	for i := uint64(1); i <= n; i++ {
+		if got := a.get(i << 6); got != float64(i) {
+			t.Fatalf("get(%#x) = %v, want %v after growth", i<<6, got, float64(i))
+		}
+	}
+}
+
+// The store hot path pays one get and one put per buffered store
+// against a working set of a few lines. These two benchmarks compare
+// the open-addressed table with the built-in map it replaced on
+// exactly that access pattern (8 hot lines, mixed get/put).
+const benchLines = 8
+
+func BenchmarkLastStoreTable(b *testing.B) {
+	a := newAddrTimes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i%benchLines+1) << 6
+		v := a.get(key)
+		a.put(key, v+1)
+	}
+}
+
+func BenchmarkLastStoreMap(b *testing.B) {
+	m := make(map[uint64]float64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i%benchLines+1) << 6
+		v := m[key]
+		m[key] = v + 1
+	}
+}

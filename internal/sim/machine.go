@@ -1,9 +1,12 @@
 // Package sim is an execution-driven, discrete-event simulator of an
 // ARM-style weakly-ordered multiprocessor. Simulated threads are
 // ordinary Go closures running against a *Thread handle; every memory
-// access, barrier, or batch of local work performs a rendezvous with
-// the machine's scheduler, which services the runnable thread with the
-// smallest virtual time. Given one seed, a run is fully deterministic.
+// access, barrier, or batch of local work enters the machine's
+// direct-dispatch scheduler (see sched.go): the machine is a monitor,
+// and the calling thread executes its own op inline as soon as it is
+// the runnable thread with the smallest virtual time — parking on a
+// per-thread wait slot only when another thread must run first. Given
+// one seed, a run is fully deterministic.
 //
 // The model implements the mechanisms the paper identifies as the
 // sources of barrier cost on real ARM silicon:
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"armbar/internal/ace"
 	"armbar/internal/mesi"
@@ -78,6 +82,13 @@ type Stats struct {
 	EventReuses  uint64 // commit events served from the free list
 	MaxEventHeap int    // high-water pending-commit heap depth
 	MaxStoreBuf  int    // high-water store-buffer occupancy (any thread)
+
+	// Direct-dispatch scheduler counters, derived from the service
+	// sequence (see noteServed): an op whose thread also ran the
+	// previous op was processed inline with no goroutine handoff; a
+	// change of serving thread implies one park and one wake.
+	InlineDispatches uint64
+	ParkWakes        uint64
 }
 
 // Machine is one simulated multiprocessor run.
@@ -96,11 +107,19 @@ type Machine struct {
 	eventSq uint64
 	freeEv  []*event // recycled commit events (see newEvent/recycle)
 
-	reqCh   chan *request
-	pending []*request // index by thread id
-	alive   int
-	started bool
-	done    bool
+	// Monitor state of the direct-dispatch scheduler (sched.go). mu
+	// guards everything below plus all simulation structures; threads
+	// mutate machine state only while holding it, one at a time, in
+	// the deterministic min-(now, id) service order.
+	mu         sync.Mutex
+	runq       runHeap // live threads parked in dispatch
+	alive      int     // spawned minus finished threads
+	lastServed *Thread // previous op's thread (see noteServed)
+	runDone    chan struct{} // closed when the last thread finishes
+	fatal      any           // panic value to re-raise from Run
+	finish     float64       // max thread completion time so far
+	started    bool
+	done       bool
 
 	nextAddr uint64
 	stats    Stats
@@ -117,15 +136,11 @@ func New(cfg Config) *Machine {
 		cfg.MaxTime = 50e9
 	}
 	m := &Machine{
-		cfg:  cfg,
-		sys:  cfg.Plat.Sys,
-		cost: &cfg.Plat.Cost,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		// Buffered so a parking thread almost never blocks on the send
-		// half of the rendezvous: each live thread has at most one
-		// outstanding request, so any capacity short of the thread count
-		// only costs an occasional (still correct) blocking send.
-		reqCh:    make(chan *request, reqChanBuffer),
+		cfg:      cfg,
+		sys:      cfg.Plat.Sys,
+		cost:     &cfg.Plat.Cost,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		runDone:  make(chan struct{}),
 		nextAddr: 1 << mesi.LineShift, // keep address 0 unused
 	}
 	m.dir = mesi.NewDirectory(m.sys)
@@ -169,29 +184,39 @@ func (m *Machine) SetInitial(addr, v uint64) {
 }
 
 // Spawn starts a simulated thread pinned to the given core running fn.
-// All Spawn calls must happen before Run.
+// All Spawn calls must happen before Run. The goroutine starts
+// immediately, but its operations are held parked until Run arms the
+// scheduler.
 func (m *Machine) Spawn(core topo.CoreID, fn func(*Thread)) *Thread {
-	if m.started {
-		panic("sim: Spawn after Run")
-	}
 	if int(core) < 0 || int(core) >= m.sys.NumCores() {
 		panic(fmt.Sprintf("sim: core %d out of range", core))
 	}
 	t := newThread(m, len(m.threads), core)
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		panic("sim: Spawn after Run")
+	}
 	m.threads = append(m.threads, t)
-	m.pending = append(m.pending, nil)
+	m.alive++
+	m.mu.Unlock()
 	go t.run(fn)
 	return t
 }
 
-// Run executes all spawned threads to completion and returns the final
-// virtual time (the max over thread completion times), in cycles.
+// Run arms the scheduler, lets all spawned threads execute to
+// completion (each processing its own ops inline, in min-(now, id)
+// order — see sched.go), and returns the final virtual time (the max
+// over thread completion times), in cycles. A fatal condition hit
+// while a thread was dispatching (the MaxTime watchdog, a bad barrier
+// value) re-panics here, on the caller's goroutine.
 func (m *Machine) Run() float64 {
+	m.mu.Lock()
 	if m.started {
+		m.mu.Unlock()
 		panic("sim: Run called twice")
 	}
 	m.started = true
-	m.alive = len(m.threads)
 	// The communication span decides which bi-section boundary a DMB
 	// transaction must reach (Obs 5).
 	cores := make([]topo.CoreID, len(m.threads))
@@ -199,64 +224,23 @@ func (m *Machine) Run() float64 {
 		cores[i] = t.core
 	}
 	m.span = m.fab.Span(cores)
-
-	var finish float64
-	for m.alive > 0 {
-		// Make sure every live thread has a parked request so the
-		// min-time choice is deterministic.
-		need := 0
-		for _, t := range m.threads {
-			if !t.finished && m.pending[t.id] == nil {
-				need++
-			}
+	if m.alive > 0 {
+		// Threads that issued their first op before Run are parked in
+		// the run queue; if every live thread is already there, hand
+		// the machine to the minimum. Otherwise the last thread to
+		// arrive in dispatch does so itself.
+		if m.runq.len() == m.alive {
+			m.runq.min().grant()
 		}
-		for i := 0; i < need; i++ {
-			r := <-m.reqCh
-			if r.kind == opDone {
-				r.t.finished = true
-				m.alive--
-				if r.t.now > finish {
-					finish = r.t.now
-				}
-				m.retireStores(r.t.now) // let its stores drain
-				i--
-				need--
-				if m.pending[r.t.id] != nil {
-					panic("sim: done with a parked request")
-				}
-				continue
-			}
-			m.pending[r.t.id] = r
-		}
-		if m.alive == 0 {
-			break
-		}
-		// Pick the runnable thread with the smallest virtual time.
-		var pick *request
-		for _, r := range m.pending {
-			if r == nil {
-				continue
-			}
-			if pick == nil || r.t.now < pick.t.now ||
-				(r.t.now == pick.t.now && r.t.id < pick.t.id) {
-				pick = r
-			}
-		}
-		if pick == nil {
-			panic("sim: no runnable thread")
-		}
-		if pick.t.now > m.cfg.MaxTime {
-			panic(m.stuckReport(pick.t))
-		}
-		if !m.process(pick) {
-			// The op only advanced this thread's clock (waiting for its
-			// own store buffer); it stays parked and retries once it is
-			// the minimum again, so commits apply in global time order.
-			continue
-		}
-		m.pending[pick.t.id] = nil
-		pick.reply <- pick.result
+		m.mu.Unlock()
+		<-m.runDone
+		m.mu.Lock()
 	}
+	if m.fatal != nil {
+		m.mu.Unlock()
+		panic(m.fatal)
+	}
+	finish := m.finish
 	// Drain every remaining commit so directory state is final. The
 	// heap yields commits in (time, seq) order directly; no further
 	// sorting happens on the drain path.
@@ -271,6 +255,7 @@ func (m *Machine) Run() float64 {
 	m.stats.MemTxns = m.fab.MemTxns
 	m.stats.SyncTxns = m.fab.SyncTxns
 	m.now = finish
+	m.mu.Unlock()
 	if reg := globalMetrics.Load(); reg != nil {
 		m.MetricsInto(reg)
 	}
@@ -302,10 +287,7 @@ func (m *Machine) apply(ev *event) {
 // maxFreeEvents bounds the free list; the working set is already
 // bounded by the sum of all store-buffer capacities, so the cap only
 // guards against pathological configurations.
-const (
-	maxFreeEvents = 1024
-	reqChanBuffer = 64
-)
+const maxFreeEvents = 1024
 
 // newEvent takes a commit event off the free list, or allocates one.
 func (m *Machine) newEvent() *event {

@@ -64,6 +64,8 @@ func (m *Machine) MetricsInto(reg *metrics.Registry) {
 	reg.Counter("sim_sync_txns_total").Add(s.SyncTxns)
 	reg.Counter("sim_event_allocs_total").Add(s.EventAllocs)
 	reg.Counter("sim_event_reuses_total").Add(s.EventReuses)
+	reg.Counter("sim_inline_dispatches_total").Add(s.InlineDispatches)
+	reg.Counter("sim_park_wakes_total").Add(s.ParkWakes)
 	reg.Gauge("sim_barrier_stall_cycles_total").Add(s.BarrierStalls)
 	reg.Gauge("sim_virtual_cycles_total").Add(m.now)
 	reg.Gauge("sim_event_heap_depth_max").Max(float64(s.MaxEventHeap))
@@ -74,6 +76,16 @@ func (m *Machine) MetricsInto(reg *metrics.Registry) {
 		allocs := reg.Counter("sim_event_allocs_total").Value()
 		reg.Gauge("sim_event_freelist_hit_rate").Set(
 			float64(reuses) / float64(reuses+allocs))
+	}
+	if total := s.InlineDispatches + s.ParkWakes; total > 0 {
+		// Share of ops the direct-dispatch scheduler executed on the
+		// requesting goroutine with no handoff, cumulative across
+		// machines: 1.0 on single-thread machines, lower the more the
+		// service order ping-pongs between threads.
+		inline := reg.Counter("sim_inline_dispatches_total").Value()
+		parked := reg.Counter("sim_park_wakes_total").Value()
+		reg.Gauge("sim_inline_dispatch_rate").Set(
+			float64(inline) / float64(inline+parked))
 	}
 }
 

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file is the direct-dispatch scheduler: the machine is a monitor
+// (one mutex, per-thread wait slots) instead of a goroutine with
+// request/reply channels. A thread performing an operation acquires
+// the machine and, when it is the runnable thread with the smallest
+// (virtual time, id), executes the op's semantics inline as a plain
+// function call — no channel hop, no context switch. Otherwise it
+// parks on its wait slot and is woken by whichever thread's inline
+// processing (or completion) makes it the new minimum. On a machine
+// with a single live thread — every single-core measurement loop —
+// simulated operations therefore degenerate to function calls end to
+// end.
+//
+// The service order is exactly the channel engine's: an op runs only
+// once every live thread has an op pending (all are inside dispatch)
+// and it belongs to the minimum-(now, id) thread, so the rng draw
+// sequence — and with it every simulated number — is unchanged.
+
+// dispatch submits the op staged in t.req, blocks (logically) until
+// the scheduler's ordering rules let it run, and returns its result.
+// The calling goroutine itself executes the op when it is eligible.
+func (t *Thread) dispatch() uint64 {
+	m := t.m
+	m.mu.Lock()
+	if m.started && m.alive == 1 {
+		// Solo fast path: no other thread can become the minimum, so
+		// skip the run queue entirely and retry-loop in place.
+		for {
+			if t.now > m.cfg.MaxTime {
+				m.fatalLocked(m.stuckReport(t))
+			}
+			if m.safeProcess(&t.req) {
+				break
+			}
+		}
+		m.mu.Unlock()
+		return t.req.result
+	}
+	m.runq.push(t)
+	for {
+		if m.started && m.runq.len() == m.alive {
+			if m.runq.min() == t {
+				if t.now > m.cfg.MaxTime {
+					m.fatalLocked(m.stuckReport(t))
+				}
+				if !m.safeProcess(&t.req) {
+					// The op only advanced this thread's clock (waiting
+					// for its own store buffer); re-sort and retry once
+					// it is the minimum again, so commits apply in
+					// global time order.
+					m.runq.fix(t.heapIdx)
+					continue
+				}
+				m.runq.remove(t.heapIdx)
+				m.mu.Unlock()
+				return t.req.result
+			}
+			// Someone else must run first: hand them the machine.
+			m.runq.min().grant()
+		}
+		m.mu.Unlock()
+		t.park()
+		m.mu.Lock()
+	}
+}
+
+// Grant states (Thread.gstate). A parked thread spins through a few
+// scheduler passes before committing to a channel sleep; the waker
+// pays a channel send only when the sleep actually happened.
+const (
+	grantNone     int32 = iota // not granted; owner may be spinning
+	grantReady                 // granted: the parked thread may run
+	grantSleeping              // owner committed to a channel sleep
+)
+
+// spinRounds bounds the cooperative-yield phase of park. Each round
+// costs one runtime.Gosched pass; in tightly alternating two-thread
+// machines the grant arrives within a round or two, and the yield is
+// several times cheaper than a channel sleep/wake pair. Threads that
+// wait longer (wide fan-in sweeps) fall through to a real sleep, so
+// parked threads never busy-poll for more than a few passes.
+const spinRounds = 4
+
+// park blocks until grant hands this thread the machine. Called with
+// m.mu released.
+func (t *Thread) park() {
+	for i := 0; i < spinRounds; i++ {
+		if atomic.LoadInt32(&t.gstate) == grantReady {
+			atomic.StoreInt32(&t.gstate, grantNone)
+			return
+		}
+		runtime.Gosched()
+	}
+	if atomic.CompareAndSwapInt32(&t.gstate, grantNone, grantSleeping) {
+		<-t.wake
+	}
+	atomic.StoreInt32(&t.gstate, grantNone)
+}
+
+// grant wakes a parked thread. At most one grant is ever outstanding
+// (only the unique minimum is woken), so the buffered send can never
+// block. Mutual exclusion on machine state still comes from m.mu: the
+// grantee re-acquires it before touching anything.
+func (t *Thread) grant() {
+	if atomic.SwapInt32(&t.gstate, grantReady) == grantSleeping {
+		t.wake <- struct{}{}
+	}
+}
+
+// finishThread retires a thread whose closure returned: its stores
+// drain, and if every remaining live thread is already parked the new
+// minimum is woken (or Run, when this was the last thread).
+func (m *Machine) finishThread(t *Thread) {
+	m.mu.Lock()
+	t.finished = true
+	m.alive--
+	if t.now > m.finish {
+		m.finish = t.now
+	}
+	m.retireStores(t.now)
+	switch {
+	case m.alive == 0:
+		if m.started {
+			close(m.runDone)
+		}
+	case m.started && m.runq.len() == m.alive:
+		m.runq.min().grant()
+	}
+	m.mu.Unlock()
+}
+
+// safeProcess runs one op's semantics, converting a panic (the
+// watchdog report, a bad barrier value) into a machine-fatal error so
+// it surfaces from Run on the caller's goroutine — the contract the
+// channel engine's central scheduler loop provided.
+func (m *Machine) safeProcess(r *request) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.fatalLocked(p)
+		}
+	}()
+	return m.process(r)
+}
+
+// fatalLocked records a fatal condition, wakes Run (which re-panics
+// it), and parks the current thread goroutine for good. Must be called
+// with m.mu held; it does not return.
+func (m *Machine) fatalLocked(v any) {
+	m.fatal = v
+	if m.started {
+		close(m.runDone)
+	}
+	m.mu.Unlock()
+	select {}
+}
+
+// noteServed maintains the dispatch counters from the (deterministic)
+// service sequence: consecutive ops by one thread need no handoff —
+// the thread processed its own request inline on re-entry — while a
+// change of thread implies a park on one side and a wake on the other.
+// Deriving the split this way keeps Stats independent of real-time
+// arrival order, so identical seeds still produce identical Stats.
+func (m *Machine) noteServed(t *Thread) {
+	if m.lastServed == t {
+		m.stats.InlineDispatches++
+		return
+	}
+	m.stats.ParkWakes++
+	m.lastServed = t
+}
+
+// runHeap is an indexed min-heap of the threads currently parked in
+// dispatch, keyed on (now, id) — (time, id) pairs are unique, so the
+// minimum (the next thread to serve) is unambiguous. It replaces the
+// channel engine's O(threads) scan over parked requests, which the
+// 24–64-thread lock sweeps paid once per simulated op.
+type runHeap struct{ s []*Thread }
+
+func (h *runHeap) len() int { return len(h.s) }
+
+// min returns the next thread to serve without removing it.
+func (h *runHeap) min() *Thread { return h.s[0] }
+
+func runLess(a, b *Thread) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.id < b.id
+}
+
+// push inserts t and records its index for later fix/remove.
+func (h *runHeap) push(t *Thread) {
+	h.s = append(h.s, t)
+	t.heapIdx = len(h.s) - 1
+	h.up(t.heapIdx)
+}
+
+// fix restores heap order around index i after its thread's time moved.
+func (h *runHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
+// remove deletes the thread at index i.
+func (h *runHeap) remove(i int) {
+	s := h.s
+	n := len(s) - 1
+	if i > n || s[i] == nil {
+		panic(fmt.Sprintf("sim: runHeap.remove(%d) of %d", i, n+1))
+	}
+	if i != n {
+		s[i] = s[n]
+		s[i].heapIdx = i
+	}
+	s[n] = nil
+	h.s = s[:n]
+	if i != n {
+		h.fix(i)
+	}
+}
+
+func (h *runHeap) up(i int) {
+	s := h.s
+	for i > 0 {
+		p := (i - 1) / 2
+		if !runLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		s[i].heapIdx, s[p].heapIdx = i, p
+		i = p
+	}
+}
+
+func (h *runHeap) down(i int) {
+	s := h.s
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && runLess(s[l], s[small]) {
+			small = l
+		}
+		if r < n && runLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		s[i].heapIdx, s[small].heapIdx = i, small
+		i = small
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"armbar/internal/topo"
 )
 
-// opKind enumerates the requests a thread can make of the scheduler.
+// opKind enumerates the operations a thread can dispatch.
 type opKind int
 
 const (
@@ -23,11 +23,11 @@ const (
 	opFetchAdd
 	opSwap
 	opCAS
-	opDone
 )
 
-// request is the rendezvous message between a thread goroutine and the
-// scheduler.
+// request is one staged operation: the thread fills its own slot and
+// processes it inline once the scheduler's ordering rules allow (see
+// dispatch in sched.go).
 type request struct {
 	t      *Thread
 	kind   opKind
@@ -37,7 +37,6 @@ type request struct {
 	bar    isa.Barrier
 	cycles float64
 	result uint64
-	reply  chan uint64
 }
 
 // ThreadStats counts one thread's activity.
@@ -63,13 +62,20 @@ type Thread struct {
 	storeFloor    float64            // commits of future stores may not precede this
 	lastLoadAt    float64            // completion time of the most recent load
 	prevLoadIssue float64            // issue time of the most recent load (early-binding horizon)
-	lastAddrStore map[uint64]float64 // per-address last scheduled commit (per-location coherence)
+	lastAddrStore *addrTimes         // per-address last scheduled commit (per-location coherence)
 
 	finished bool
 	stats    ThreadStats
 
-	req   request
-	reply chan uint64
+	req     request
+	heapIdx int   // position in the machine's run queue
+	gstate  int32 // grant handshake state (see park/grant in sched.go)
+	// wake is the thread's channel wait slot, used when a park outlasts
+	// the spin phase. Capacity 1 makes the handoff a single buffered
+	// send: the waker deposits the token and moves on; at most one wake
+	// is ever outstanding because only the unique minimum thread is
+	// granted the machine.
+	wake chan struct{}
 }
 
 func newThread(m *Machine, id int, core topo.CoreID) *Thread {
@@ -78,27 +84,23 @@ func newThread(m *Machine, id int, core topo.CoreID) *Thread {
 		id:            id,
 		core:          core,
 		buf:           sb.New(m.cost.StoreBufferEntries, m.cfg.Mode == TSO),
-		lastAddrStore: make(map[uint64]float64),
-		// Capacity 1 turns the reply side of the rendezvous into a
-		// single non-blocking handoff: the scheduler deposits the result
-		// and moves straight on to the next runnable thread instead of
-		// sleeping until this one is rescheduled. A thread has at most
-		// one outstanding request, so the slot can never be occupied.
-		reply: make(chan uint64, 1),
+		lastAddrStore: newAddrTimes(),
+		wake:          make(chan struct{}, 1),
 	}
 }
 
 // run executes the user closure and signals completion.
 func (t *Thread) run(fn func(*Thread)) {
 	fn(t)
-	t.req = request{t: t, kind: opDone}
-	t.m.reqCh <- &t.req
+	t.m.finishThread(t)
 }
 
-func (t *Thread) rendezvous(kind opKind, addr, value uint64, bar isa.Barrier, cycles float64) uint64 {
-	t.req = request{t: t, kind: kind, addr: addr, value: value, bar: bar, cycles: cycles, reply: t.reply}
-	t.m.reqCh <- &t.req
-	return <-t.reply
+// op stages one operation and dispatches it; the calling goroutine
+// itself executes the semantics when eligible (no channel rendezvous,
+// no context switch while this thread holds the minimum time).
+func (t *Thread) op(kind opKind, addr, value uint64, bar isa.Barrier, cycles float64) uint64 {
+	t.req = request{t: t, kind: kind, addr: addr, value: value, bar: bar, cycles: cycles}
+	return t.dispatch()
 }
 
 // ID returns the thread's index in spawn order.
@@ -116,13 +118,13 @@ func (t *Thread) Stats() ThreadStats { return t.stats }
 
 // Load performs a relaxed 64-bit load.
 func (t *Thread) Load(addr uint64) uint64 {
-	return t.rendezvous(opLoad, addr, 0, isa.None, 0)
+	return t.op(opLoad, addr, 0, isa.None, 0)
 }
 
 // LoadAcquire performs an LDAR: a load after which no later access may
 // be satisfied before it, acting as an invalidation-processing point.
 func (t *Thread) LoadAcquire(addr uint64) uint64 {
-	return t.rendezvous(opLoadAcquire, addr, 0, isa.None, 0)
+	return t.op(opLoadAcquire, addr, 0, isa.None, 0)
 }
 
 // LoadAcquirePC performs an ARMv8.3 LDAPR (RCpc acquire, the paper's
@@ -130,18 +132,18 @@ func (t *Thread) LoadAcquire(addr uint64) uint64 {
 // LDAR the in-flight window is not reset, so independent misses keep
 // overlapping across it.
 func (t *Thread) LoadAcquirePC(addr uint64) uint64 {
-	return t.rendezvous(opLoadAcquirePC, addr, 0, isa.None, 0)
+	return t.op(opLoadAcquirePC, addr, 0, isa.None, 0)
 }
 
 // Store performs a relaxed 64-bit store (retires into the store buffer).
 func (t *Thread) Store(addr, v uint64) {
-	t.rendezvous(opStore, addr, v, isa.None, 0)
+	t.op(opStore, addr, v, isa.None, 0)
 }
 
 // StoreRelease performs an STLR: every earlier access is observable
 // before the released value is.
 func (t *Thread) StoreRelease(addr, v uint64) {
-	t.rendezvous(opStoreRelease, addr, v, isa.None, 0)
+	t.op(opStoreRelease, addr, v, isa.None, 0)
 }
 
 // Barrier executes a standalone order-preserving instruction or
@@ -154,7 +156,7 @@ func (t *Thread) Barrier(b isa.Barrier) {
 	if b == isa.LDAR || b == isa.STLR || b == isa.LDAPR {
 		panic("sim: LDAR/LDAPR/STLR are operand barriers; use LoadAcquire/LoadAcquirePC/StoreRelease")
 	}
-	t.rendezvous(opBarrier, 0, 0, b, 0)
+	t.op(opBarrier, 0, 0, b, 0)
 }
 
 // Nops executes n trivial ALU instructions (the paper's nop padding).
@@ -162,7 +164,7 @@ func (t *Thread) Nops(n int) {
 	if n <= 0 {
 		return
 	}
-	t.rendezvous(opWork, 0, 0, isa.None, float64(n)/t.m.cost.IssueWidth)
+	t.op(opWork, 0, 0, isa.None, float64(n)/t.m.cost.IssueWidth)
 }
 
 // Work advances the thread by the given number of cycles of purely
@@ -171,38 +173,37 @@ func (t *Thread) Work(cycles float64) {
 	if cycles <= 0 {
 		return
 	}
-	t.rendezvous(opWork, 0, 0, isa.None, cycles)
+	t.op(opWork, 0, 0, isa.None, cycles)
 }
 
 // FetchAdd atomically adds delta to *addr and returns the old value.
 // Like ARM LSE atomics it acts directly on the coherent copy (no store
 // buffering) and is relaxed: it implies no ordering of other accesses.
 func (t *Thread) FetchAdd(addr, delta uint64) uint64 {
-	return t.rendezvous(opFetchAdd, addr, delta, isa.None, 0)
+	return t.op(opFetchAdd, addr, delta, isa.None, 0)
 }
 
 // Swap atomically stores v and returns the old value (relaxed).
 func (t *Thread) Swap(addr, v uint64) uint64 {
-	return t.rendezvous(opSwap, addr, v, isa.None, 0)
+	return t.op(opSwap, addr, v, isa.None, 0)
 }
 
 // CompareAndSwap atomically replaces old with new; it reports whether
 // the swap happened (relaxed ordering).
 func (t *Thread) CompareAndSwap(addr, old, new uint64) bool {
-	t.req = request{t: t, kind: opCAS, addr: addr, value: old, value2: new, reply: t.reply}
-	t.m.reqCh <- &t.req
-	return <-t.reply == 1
+	t.req = request{t: t, kind: opCAS, addr: addr, value: old, value2: new}
+	return t.dispatch() == 1
 }
 
 // --- scheduler-side op semantics -----------------------------------
 
-// process executes one parked request. It runs in the scheduler
-// goroutine; only here are machine structures mutated. It returns
-// false when the op could not run yet and only advanced the thread's
-// clock (the thread stays parked and retries at its new time) — this
-// keeps directory mutations in global start-time order, which is what
-// makes values read by one thread never come from another thread's
-// future.
+// process executes one staged request. It runs on the goroutine of the
+// thread the scheduler granted the machine to, with m.mu held; only
+// here are machine structures mutated. It returns false when the op
+// could not run yet and only advanced the thread's clock (the thread
+// stays queued and retries at its new time) — this keeps directory
+// mutations in global start-time order, which is what makes values
+// read by one thread never come from another thread's future.
 func (m *Machine) process(r *request) bool {
 	t := r.t
 	m.retireStores(t.now)
@@ -256,6 +257,7 @@ func (m *Machine) process(r *request) bool {
 	default:
 		panic(fmt.Sprintf("sim: bad op %d", r.kind))
 	}
+	m.noteServed(t)
 	return true
 }
 
@@ -297,8 +299,8 @@ func (m *Machine) doRMW(t *Thread, r *request) uint64 {
 			result = 1
 		}
 	}
-	if c := t.lastAddrStore[r.addr]; commitAt > c {
-		t.lastAddrStore[r.addr] = commitAt
+	if c := t.lastAddrStore.get(r.addr); commitAt > c {
+		t.lastAddrStore.put(r.addr, commitAt)
 	}
 	return result
 }
@@ -433,7 +435,7 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 	}
 	// Per-location coherence: the thread's own stores to one address
 	// must commit in program order even under non-FIFO drain.
-	if last := t.lastAddrStore[addr]; commit <= last {
+	if last := t.lastAddrStore.get(addr); commit <= last {
 		commit = last + 1e-6
 	}
 	if release {
@@ -455,7 +457,7 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 			commit = t.now
 		}
 	}
-	t.lastAddrStore[addr] = commit
+	t.lastAddrStore.put(addr, commit)
 	e := t.buf.Push(addr, value, t.now, commit)
 	if occ := t.buf.Len(); occ > m.stats.MaxStoreBuf {
 		m.stats.MaxStoreBuf = occ

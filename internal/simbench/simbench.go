@@ -30,8 +30,11 @@ var Benches = []Bench{
 }
 
 // RendezvousLoadHit is the floor of a simulated operation: cache-hit
-// loads with nothing in flight, so the measured cost is the park/wake
-// rendezvous plus the load bookkeeping.
+// loads with nothing in flight, so the measured cost is one pass
+// through the direct-dispatch scheduler (the solo fast path — a mutex
+// acquire and an inline process call) plus the load bookkeeping. The
+// name predates the scheduler rewrite and is kept so snapshots stay
+// comparable across engine generations.
 func RendezvousLoadHit(b *testing.B) {
 	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
 	addr := m.Alloc(1)
@@ -47,8 +50,8 @@ func RendezvousLoadHit(b *testing.B) {
 }
 
 // RendezvousTwoThreads interleaves two runnable threads so every
-// operation also pays the scheduler's min-time pick between parked
-// requests.
+// operation also pays the scheduler's min-(time, id) pick and, when
+// service alternates, the park/grant handoff between goroutines.
 func RendezvousTwoThreads(b *testing.B) {
 	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
 	a1, a2 := m.Alloc(1), m.Alloc(1)

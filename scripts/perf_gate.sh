@@ -2,11 +2,14 @@
 # Perf-regression gate: rerun the simulator hot-path microbenchmarks
 # in-process and compare them against the committed BENCH_sim.json.
 # Exits non-zero (with a readable delta table) when ns/op regresses
-# beyond the threshold or allocs/op grow at all. Run from anywhere;
-# extra arguments are passed straight to `armbar perfcheck`, e.g.
+# beyond the threshold, allocs/op grow at all, or ns/op improves
+# beyond -improve-threshold (a stale snapshot: refresh it with
+# `make bench-snapshot`). Run from anywhere; extra arguments are
+# passed straight to `armbar perfcheck`, e.g.
 #
 #   scripts/perf_gate.sh -threshold 1.5
 #   scripts/perf_gate.sh -handicap 2     # demonstrate a failing gate
+#   scripts/perf_gate.sh -improve-threshold 0   # one-sided gate
 set -eu
 
 cd "$(dirname "$0")/.."
