@@ -1,13 +1,14 @@
 GO ?= go
 
 # The verify chain is what CI (and any contributor) runs before a
-# merge: full build, vet, the whole test suite, the concurrency
-# packages again under the race detector (including the simulator's
-# direct-dispatch scheduler), then the perf-regression gate against
-# the committed BENCH_sim.json. `-run 'Test'` keeps the race pass on
-# the (fast) unit tests rather than the benchmarks.
+# merge: full build, vet, the armvet static-analysis suite, the whole
+# test suite, the concurrency packages again under the race detector
+# (including the simulator's direct-dispatch scheduler), then the
+# perf-regression gate against the committed BENCH_sim.json.
+# `-run 'Test'` keeps the race pass on the (fast) unit tests rather
+# than the benchmarks.
 .PHONY: verify
-verify: build vet test race perfcheck
+verify: build vet lint test race perfcheck
 
 .PHONY: build
 build:
@@ -16,6 +17,13 @@ build:
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# Static-analysis gate: the armvet pass suite (determvet, lockvet,
+# atomicvet, allocvet) must run clean over the module. Suppress a
+# deliberate violation with //armvet:ignore <pass> and a reason.
+.PHONY: lint
+lint:
+	./scripts/lint.sh
 
 .PHONY: test
 test:

@@ -1,3 +1,13 @@
 module armbar
 
 go 1.22
+
+// No requirements — stdlib only, and that is deliberate. The static
+// analyzers in internal/analysis implement the go/analysis API shape
+// (Analyzer/Pass/analysistest) as a small in-tree subset on
+// go/ast + go/types with the source importer, instead of requiring
+// golang.org/x/tools: the build must work hermetically offline, and
+// x/tools would be the module's only dependency. If a vendored
+// x/tools ever becomes available, the suite can be ported by
+// swapping internal/analysis's driver for multichecker.
+

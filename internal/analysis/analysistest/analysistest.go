@@ -1,0 +1,105 @@
+// Package analysistest runs one analyzer over a fixture package under
+// testdata/src/<name> and checks its diagnostics against `// want`
+// comments — a dependency-free subset of the
+// golang.org/x/tools/go/analysis/analysistest convention.
+//
+// A want comment holds one or more Go string literals (backquoted
+// literals keep regex escapes readable), each a regular expression that
+// must match a diagnostic reported on that line:
+//
+//	rand.Intn(8) // want `global math/rand\.Intn`
+//
+// Every diagnostic must be claimed by a want on its line and every
+// want must be claimed by a diagnostic; suppression directives are
+// applied before matching, so fixtures can also assert that
+// //armvet:ignore works.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"armbar/internal/analysis"
+)
+
+type want struct {
+	rx  *regexp.Regexp
+	raw string
+	hit bool
+}
+
+// wantRe captures the string literals following "want" in a comment:
+// any number of backquoted or double-quoted Go literals.
+var (
+	wantRe    = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+	literalRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads testdata/src/<pkgname>, applies the analyzer (with
+// suppression filtering, as the driver does), and diffs the findings
+// against the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	dir := testdata + "/src/" + pkgname
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(loader.Fset, []*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := map[string][]*want{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, lit := range literalRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("analysistest: bad want literal %s at %s: %v", lit, key, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("analysistest: bad want regexp %q at %s: %v", pat, key, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.rx.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

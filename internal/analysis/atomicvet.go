@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicVet enforces all-or-nothing atomicity per field: a struct
+// field whose address is passed to a function-style sync/atomic call
+// (atomic.LoadInt32(&t.state), atomic.AddUint64(&c.n, 1), ...)
+// anywhere in the package must never be read or written plainly
+// elsewhere in it — a single plain access races with every atomic one.
+//
+// Typed atomics (atomic.Int64, atomic.Pointer[T], ...) are safe by
+// construction — they have no plain-access surface — and need no
+// checking. Composite-literal zero initialization is pre-publication
+// and exempt, like in lockvet.
+var AtomicVet = &Analyzer{
+	Name: "atomicvet",
+	Doc:  "flag plain accesses to struct fields that are accessed via sync/atomic elsewhere",
+	Run:  runAtomicVet,
+}
+
+func runAtomicVet(pass *Pass) (interface{}, error) {
+	atomicFields := map[types.Object]bool{}
+	allowed := map[token.Pos]bool{}
+
+	// Walk 1: find fields whose address feeds sync/atomic functions.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods of typed atomics
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel := baseSelector(un.X)
+				if sel == nil {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok || !obj.IsField() {
+					continue
+				}
+				atomicFields[obj] = true
+				allowed[sel.Sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Walk 2: every other selector to those fields is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !atomicFields[obj] || allowed[sel.Sel.Pos()] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "%s is accessed with sync/atomic elsewhere in this package; plain access races with the atomic ones", obj.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// baseSelector unwraps index, slice, star and paren expressions to the
+// underlying field selector, if any: &s.counts[i] guards field counts.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}

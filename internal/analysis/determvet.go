@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetermVet flags nondeterminism sources in packages whose output must
+// be byte-identical under a fixed seed (DeterministicPackages):
+//
+//   - time.Now / time.Since / time.Until — wall-clock readings that can
+//     leak into results;
+//   - package-level math/rand functions (rand.Intn, rand.Float64, ...)
+//     — the global source is unseeded and shared; use rand.New with an
+//     explicit rand.NewSource instead (methods on a *rand.Rand are
+//     fine);
+//   - `range` over a map whose iteration order escapes: the body either
+//     emits output directly (fmt / Write / Encode / Row calls) or
+//     appends to a slice declared outside the loop that the enclosing
+//     function never sorts afterwards.
+//
+// Order-independent map ranges (max/sum aggregation, map-to-map
+// copies, collect-then-sort) pass untouched.
+var DetermVet = &Analyzer{
+	Name: "determvet",
+	Doc:  "flag wall clocks, global math/rand, and order-escaping map iteration in deterministic packages",
+	Run:  runDetermVet,
+}
+
+// emissionMethods are method names treated as "this value reaches
+// output" when called inside a map-range body.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Row": true, "AddRow": true, "Record": true, "Emit": true,
+}
+
+func runDetermVet(pass *Pass) (interface{}, error) {
+	if !DeterministicPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			determCheckFunc(pass, fn)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func determCheckFunc(pass *Pass, fn *ast.FuncDecl) {
+	sortedVars := determSortedVars(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeOf(pass, n); obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "time":
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "time.%s in deterministic package %s: wall clock must not feed seeded output", obj.Name(), pass.Pkg.Path())
+					}
+				case "math/rand", "math/rand/v2":
+					if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+						switch obj.Name() {
+						case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+							// Constructors for explicitly seeded generators.
+						default:
+							pass.Reportf(n.Pos(), "global math/rand.%s: shared unseeded source; use a rand.New(rand.NewSource(seed)) instance", obj.Name())
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			determCheckMapRange(pass, n, sortedVars)
+		}
+		return true
+	})
+}
+
+// calleeOf resolves the called function/method object of a call, or
+// nil for builtins, func-typed variables and type conversions.
+func calleeOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// determSortedVars collects the objects passed to sort.* / slices.*
+// calls anywhere in the function body: slices that get sorted before
+// use, so appending to them from a map range is fine.
+func determSortedVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeOf(pass, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v := pass.TypesInfo.Uses[id]; v != nil {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// determCheckMapRange flags a `range` over a map whose per-iteration
+// order escapes the loop.
+func determCheckMapRange(pass *Pass, rng *ast.RangeStmt, sortedVars map[types.Object]bool) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeOf(pass, n); obj != nil {
+				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					pass.Reportf(n.Pos(), "map iteration order escapes into fmt.%s output; sort the keys first", obj.Name())
+					return true
+				}
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && emissionMethods[obj.Name()] {
+					pass.Reportf(n.Pos(), "map iteration order escapes through %s.%s; sort the keys first", recvTypeName(sig), obj.Name())
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			determCheckRangeAppend(pass, rng, n, sortedVars)
+		}
+		return true
+	})
+}
+
+// determCheckRangeAppend flags `s = append(s, ...)` inside a map-range
+// body when s is declared outside the loop and never sorted in the
+// enclosing function: the slice inherits map iteration order.
+func determCheckRangeAppend(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt, sortedVars map[types.Object]bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+		return
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	// Declared inside the loop: order cannot outlive one iteration.
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return
+	}
+	if sortedVars[obj] {
+		return
+	}
+	pass.Reportf(as.Pos(), "append to %s inside map range: slice order inherits map iteration order; sort %s afterwards or iterate sorted keys", id.Name, id.Name)
+}
+
+// recvTypeName renders the receiver type name of a method signature.
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,115 @@
+package analysis
+
+// This file is the committed configuration of the pass suite: which
+// packages must stay deterministic (determvet) and which functions are
+// hot paths that must stay allocation-free (allocvet).
+
+// DeterministicPackages lists the import paths whose output feeds the
+// seeded byte-identical pipeline (table rows, CSV, registry order,
+// scheduling decisions). determvet runs only inside these; other
+// packages may use wall clocks and global rand freely.
+//
+// "determ" and "suppress" are analysistest fixture packages for the
+// pass and for the //armvet:ignore placement rules.
+var DeterministicPackages = map[string]bool{
+	"armbar/internal/sim":      true,
+	"armbar/internal/figures":  true,
+	"armbar/internal/report":   true,
+	"armbar/internal/runner":   true,
+	"armbar/internal/metrics":  true,
+	"armbar/internal/mesi":     true,
+	"armbar/internal/trace":    true,
+	"armbar/internal/scenario": true,
+	"determ":                   true,
+	"suppress":                 true,
+}
+
+// HotPathFuncs is the committed list of functions on the simulator's
+// per-operation critical path — the code the BENCH_sim.json perf gate
+// pins at 0 allocs/op (BenchmarkRendezvousLoadHit,
+// BenchmarkRendezvousTwoThreads, BenchmarkStoreCommit,
+// BenchmarkStoreDMBFull). allocvet flags allocation-forcing constructs
+// inside them. Keys are "importpath.Receiver.name" (receiver
+// star-stripped) or "importpath.name" for plain functions.
+//
+// Deliberately excluded: addrTimes.grow and Directory.line (rare
+// resize / lazy-init paths that allocate by design and are amortized
+// away), Machine.fatalLocked / Machine.stuckReport / Machine.finishThread
+// (error and shutdown paths), and everything the benchmarks never
+// reach. Fixture functions opt in with an `// armvet:hotpath` doc
+// marker instead of being listed here.
+var HotPathFuncs = map[string]bool{
+	// Scheduler rendezvous (internal/sim/sched.go).
+	"armbar/internal/sim.Thread.dispatch":     true,
+	"armbar/internal/sim.Thread.park":         true,
+	"armbar/internal/sim.Thread.grant":        true,
+	"armbar/internal/sim.Machine.safeProcess": true,
+	"armbar/internal/sim.Machine.noteServed":  true,
+	"armbar/internal/sim.runHeap.len":         true,
+	"armbar/internal/sim.runHeap.min":         true,
+	"armbar/internal/sim.runLess":             true,
+	"armbar/internal/sim.runHeap.push":        true,
+	"armbar/internal/sim.runHeap.fix":         true,
+	"armbar/internal/sim.runHeap.remove":      true,
+	"armbar/internal/sim.runHeap.up":          true,
+	"armbar/internal/sim.runHeap.down":        true,
+
+	// Operation engine (internal/sim/thread.go, machine.go).
+	"armbar/internal/sim.Thread.op":            true,
+	"armbar/internal/sim.Thread.Load":          true,
+	"armbar/internal/sim.Thread.LoadAcquire":   true,
+	"armbar/internal/sim.Thread.LoadAcquirePC": true,
+	"armbar/internal/sim.Thread.Store":         true,
+	"armbar/internal/sim.Thread.StoreRelease":  true,
+	"armbar/internal/sim.Thread.Barrier":       true,
+	"armbar/internal/sim.Machine.process":      true,
+	"armbar/internal/sim.Machine.doLoad":       true,
+	"armbar/internal/sim.Machine.doStore":      true,
+	"armbar/internal/sim.Machine.doBarrier":    true,
+	"armbar/internal/sim.Machine.doRMW":        true,
+	"armbar/internal/sim.Machine.forward":      true,
+	"armbar/internal/sim.Machine.readCache":    true,
+	"armbar/internal/sim.Machine.retireStores": true,
+	"armbar/internal/sim.Machine.apply":        true,
+	"armbar/internal/sim.Machine.schedule":     true,
+	"armbar/internal/sim.Machine.newEvent":     true,
+	"armbar/internal/sim.Machine.recycle":      true,
+	"armbar/internal/sim.Machine.invProc":      true,
+	"armbar/internal/sim.Machine.emit":         true,
+
+	// Event queue and last-store table (event.go, addrmap.go).
+	"armbar/internal/sim.eventHeap.len":  true,
+	"armbar/internal/sim.eventHeap.min":  true,
+	"armbar/internal/sim.eventLess":      true,
+	"armbar/internal/sim.eventHeap.push": true,
+	"armbar/internal/sim.eventHeap.pop":  true,
+	"armbar/internal/sim.addrTimes.hash": true,
+	"armbar/internal/sim.addrTimes.get":  true,
+	"armbar/internal/sim.addrTimes.put":  true,
+
+	// Store buffer (internal/sb).
+	"armbar/internal/sb.Buffer.Push":      true,
+	"armbar/internal/sb.Buffer.Forward":   true,
+	"armbar/internal/sb.Buffer.Remove":    true,
+	"armbar/internal/sb.Buffer.Full":      true,
+	"armbar/internal/sb.Buffer.Len":       true,
+	"armbar/internal/sb.Buffer.MinCommit": true,
+	"armbar/internal/sb.Buffer.MaxCommit": true,
+
+	// Coherence directory (internal/mesi).
+	"armbar/internal/mesi.LineOf":                   true,
+	"armbar/internal/mesi.Copy.Valid":               true,
+	"armbar/internal/mesi.Copy.StaleValue":          true,
+	"armbar/internal/mesi.Directory.CommitStore":    true,
+	"armbar/internal/mesi.Directory.Fetch":          true,
+	"armbar/internal/mesi.Directory.install":        true,
+	"armbar/internal/mesi.Directory.AccessDistance": true,
+	"armbar/internal/mesi.Directory.HasValidCopy":   true,
+	"armbar/internal/mesi.Directory.IsRMR":          true,
+	"armbar/internal/mesi.Directory.CopyAt":         true,
+	"armbar/internal/mesi.Directory.Committed":      true,
+	"armbar/internal/mesi.Directory.PrevCommitted":  true,
+
+	// Interconnect cost model (internal/ace).
+	"armbar/internal/ace.Fabric.Response": true,
+}

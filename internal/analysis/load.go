@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("armbar/internal/sim"). Packages under
+	// a testdata/src directory get the path relative to it ("badpkg"),
+	// matching the x/tools analysistest convention.
+	Path  string
+	Dir   string
+	Files []*ast.File // non-test files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks module packages without the go
+// command: module-internal imports resolve through the loader itself
+// (recursively), everything else through the standard library's
+// source importer, so the whole pipeline works offline.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleName string
+	moduleRoot string
+	std        types.Importer
+	byDir      map[string]*Package
+	byPath     map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir (dir or an
+// ancestor must hold go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			name = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if name == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleName: name,
+		moduleRoot: root,
+		std:        importer.ForCompiler(fset, "source", nil),
+		byDir:      map[string]*Package{},
+		byPath:     map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleName returns the module's import-path prefix.
+func (l *Loader) ModuleName() string { return l.moduleName }
+
+// Import implements types.Importer: module-internal paths load (and
+// cache) through the loader, everything else goes to the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.moduleName || strings.HasPrefix(path, l.moduleName+"/") {
+		dir := filepath.Join(l.moduleRoot, strings.TrimPrefix(strings.TrimPrefix(path, l.moduleName), "/"))
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importPathFor derives the import path of a directory: module-based,
+// except under testdata/src where the analysistest convention (path
+// relative to testdata/src) applies.
+func (l *Loader) importPathFor(dir string) string {
+	if i := strings.LastIndex(dir, string(filepath.Separator)+"testdata"+string(filepath.Separator)+"src"+string(filepath.Separator)); i >= 0 {
+		return filepath.ToSlash(dir[i+len("/testdata/src/"):])
+	}
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == "." {
+		return l.moduleName
+	}
+	return l.moduleName + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files
+// only). Results are cached per directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg := l.byDir[abs]; pkg != nil {
+		return pkg, nil
+	}
+	path := l.importPathFor(abs)
+	if l.loading[abs] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	names, err := goSourceFiles(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", abs)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: abs, Files: files, Types: tpkg, Info: info}
+	l.byDir[abs] = pkg
+	l.byPath[path] = pkg
+	return pkg, nil
+}
+
+// goSourceFiles lists the buildable non-test .go files of dir, sorted.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadPatterns resolves command-line package patterns ("./...",
+// "dir/...", plain directories, or module import paths) into loaded
+// packages, in deterministic (sorted-directory) order.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if base == "" || base == "." {
+				base = "."
+			}
+			expanded, err := expandTree(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		case pat == l.moduleName || strings.HasPrefix(pat, l.moduleName+"/"):
+			add(filepath.Join(l.moduleRoot, strings.TrimPrefix(strings.TrimPrefix(pat, l.moduleName), "/")))
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expandTree walks base collecting every directory that holds
+// buildable Go files, skipping testdata, vendor and hidden trees.
+func expandTree(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goSourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockVet is a lightweight checklocks-style pass. Struct fields
+// annotated
+//
+//	// armvet:guardedby <mutex>
+//
+// (doc or trailing comment on the field; <mutex> is a sibling field
+// name) may only be accessed through a selector inside a function that
+// holds that mutex. A function holds a mutex if its body calls
+// <x>.<mutex>.Lock() or .RLock(), or its doc comment carries
+//
+//	// armvet:holds <mutex>[, <mutex>...]
+//
+// for internal helpers documented "must be called with mu held".
+//
+// The analysis is function-granular (no lock-region tracking) and
+// selector-only: composite-literal construction (`Machine{runq: ...}`)
+// is pre-publication by definition and not checked.
+var LockVet = &Analyzer{
+	Name: "lockvet",
+	Doc:  "enforce // armvet:guardedby mutex annotations on struct fields",
+	Run:  runLockVet,
+}
+
+const (
+	guardedByDirective = "armvet:guardedby"
+	holdsDirective     = "armvet:holds"
+)
+
+func runLockVet(pass *Pass) (interface{}, error) {
+	guards := collectGuardedFields(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := heldMutexes(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[sel.Sel]
+				mu, guarded := guards[obj]
+				if !guarded || held[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(), "%s is guarded by %q but %s does not hold it (lock it, or annotate the function // armvet:holds %s)",
+					obj.Name(), mu, fn.Name.Name, mu)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// directiveArgs returns the comma/space-separated arguments following
+// directive in text, stopping at the first token that is not an
+// identifier (so trailing prose is tolerated), or nil if the directive
+// is absent.
+func directiveArgs(text, directive string) []string {
+	i := strings.Index(text, directive)
+	if i < 0 {
+		return nil
+	}
+	var out []string
+	fields := strings.FieldsFunc(text[i+len(directive):], func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	})
+	for _, f := range fields {
+		if !isIdentWord(f) {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func isIdentWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectGuardedFields maps annotated struct-field objects to the name
+// of the mutex that guards them.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						if args := directiveArgs(c.Text, guardedByDirective); len(args) > 0 {
+							mu = args[0]
+						}
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// heldMutexes reports which mutex names fn holds: declared via an
+// armvet:holds doc directive, or taken in the body through
+// <x>.<name>.Lock() / .RLock().
+func heldMutexes(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			for _, name := range directiveArgs(c.Text, holdsDirective) {
+				held[name] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true
+		case *ast.Ident:
+			held[x.Name] = true
+		}
+		return true
+	})
+	return held
+}

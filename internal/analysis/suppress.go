@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives
+//
+// A finding is silenced with
+//
+//	//armvet:ignore <pass>[,<pass>...]
+//
+// where <pass> is an analyzer name or "all". The directive may carry
+// trailing prose ("//armvet:ignore determvet — wall-clock only").
+// Matching is deliberately tolerant of real-world comment placement:
+//
+//   - trailing on the flagged line:   x := time.Now() //armvet:ignore determvet
+//   - anywhere in the doc-comment group immediately above the flagged
+//     line (the group suppresses the first code line after it, the way
+//     doc comments attach to declarations);
+//   - embedded after other directives on the same comment
+//     ("//nolint:gocritic //armvet:ignore allocvet"), with or without
+//     a space after the //.
+//
+// The last two are the satellite bugfix: an earlier, stricter parser
+// required the directive to be the whole comment and to sit exactly
+// on the flagged line, which made doc-group and nolint-adjacent
+// directives silently not match anything.
+
+const ignoreDirective = "armvet:ignore"
+
+// suppressions maps line number -> pass names silenced on that line.
+type suppressions map[int]map[string]bool
+
+// suppressed reports whether pass findings on line are silenced.
+func (s suppressions) suppressed(pass string, line int) bool {
+	m := s[line]
+	return m != nil && (m[pass] || m["all"])
+}
+
+// directivePasses extracts the pass names of every armvet:ignore
+// directive in a comment's raw text ("" tokens end the name list, so
+// trailing prose is ignored). known limits names to real passes plus
+// "all"; unknown words simply terminate the list.
+func directivePasses(text string, known map[string]bool) []string {
+	var out []string
+	rest := text
+	for {
+		i := strings.Index(rest, ignoreDirective)
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len(ignoreDirective):]
+		// Pass names: comma- or space-separated identifiers until the
+		// first word that is not a known pass name.
+		fields := strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		for _, f := range fields {
+			if known[f] || f == "all" {
+				out = append(out, f)
+				continue
+			}
+			break
+		}
+	}
+}
+
+// collectSuppressions builds the per-line suppression table for one
+// file. A comment group's directives apply to every line the group
+// spans plus the line immediately after the group (the doc-comment
+// attachment rule); consecutive lines of one group chain naturally, so
+// a directive buried in the middle of a doc block still reaches the
+// declaration under it.
+func collectSuppressions(fset *token.FileSet, file *ast.File, known map[string]bool) suppressions {
+	sup := suppressions{}
+	mark := func(line int, passes []string) {
+		m := sup[line]
+		if m == nil {
+			m = map[string]bool{}
+			sup[line] = m
+		}
+		for _, p := range passes {
+			m[p] = true
+		}
+	}
+	for _, group := range file.Comments {
+		var passes []string
+		for _, c := range group.List {
+			passes = append(passes, directivePasses(c.Text, known)...)
+		}
+		if len(passes) == 0 {
+			continue
+		}
+		start := fset.Position(group.Pos()).Line
+		end := fset.Position(group.End()).Line
+		for line := start; line <= end+1; line++ {
+			mark(line, passes)
+		}
+	}
+	return sup
+}

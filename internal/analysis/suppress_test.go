@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestDirectivePasses exercises the raw directive parser: trailing
+// prose, comma lists, nolint-adjacency, and unknown names.
+func TestDirectivePasses(t *testing.T) {
+	known := map[string]bool{"determvet": true, "allocvet": true, "lockvet": true}
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//armvet:ignore determvet", []string{"determvet"}},
+		{"// armvet:ignore determvet — wall-clock observability", []string{"determvet"}},
+		{"//armvet:ignore determvet,allocvet", []string{"determvet", "allocvet"}},
+		{"//armvet:ignore all", []string{"all"}},
+		{"//nolint:staticcheck //armvet:ignore lockvet", []string{"lockvet"}},
+		{"//armvet:ignore nosuchpass determvet", nil},
+		{"// a comment with no directive", nil},
+	}
+	for _, c := range cases {
+		got := directivePasses(c.text, known)
+		if len(got) != len(c.want) {
+			t.Errorf("directivePasses(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("directivePasses(%q) = %v, want %v", c.text, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestCollectSuppressionsDocGroup pins the line-span rule: a directive
+// anywhere in a comment group silences every line of the group plus
+// the line immediately after it, and nothing else.
+func TestCollectSuppressionsDocGroup(t *testing.T) {
+	src := `package p
+
+// helper does things.
+//
+//armvet:ignore determvet
+func helper() int { return 1 }
+
+func other() int { return 2 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, f, map[string]bool{"determvet": true})
+	// Group spans lines 3-5; line 6 is the declaration under it.
+	for line := 3; line <= 6; line++ {
+		if !sup.suppressed("determvet", line) {
+			t.Errorf("line %d: want suppressed", line)
+		}
+	}
+	if sup.suppressed("determvet", 8) {
+		t.Error("line 8: suppression leaked past the doc group")
+	}
+	if sup.suppressed("lockvet", 5) {
+		t.Error("line 5: suppression leaked to an unnamed pass")
+	}
+}

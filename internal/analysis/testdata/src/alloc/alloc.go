@@ -1,0 +1,88 @@
+// Package alloc is the allocvet fixture. Fixture functions opt into
+// hot-path checking with the armvet:hotpath doc marker; cold functions
+// may allocate freely.
+package alloc
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+func consume(x interface{})    { _ = x }
+func consumePtr(x interface{}) { _ = x }
+
+// hotClosure builds a closure on the hot path.
+//
+// armvet:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want `closure literal in hot path hotClosure`
+	return f
+}
+
+// hotFmt calls fmt on the hot path.
+//
+// armvet:hotpath
+func hotFmt(v int) {
+	fmt.Println(v) // want `fmt\.Println in hot path hotFmt`
+}
+
+// hotComposite returns heap material.
+//
+// armvet:hotpath
+func hotComposite() *ring {
+	return &ring{} // want `&composite literal in hot path hotComposite`
+}
+
+// hotMake allocates a backing array per call.
+//
+// armvet:hotpath
+func hotMake(n int) []int {
+	s := make([]int, n) // want `make in hot path hotMake`
+	return s
+}
+
+// hotAppend grows one slice into another.
+//
+// armvet:hotpath
+func hotAppend(dst, src []int) []int {
+	dst = append(src, 1) // want `append in hot path hotAppend grows src into dst`
+	return dst
+}
+
+// hotBox passes a non-constant concrete value to an interface.
+//
+// armvet:hotpath
+func hotBox(v int) {
+	consume(v) // want `passing int to interface parameter of consume in hot path hotBox`
+}
+
+// hotPanic boxes its panic operand.
+//
+// armvet:hotpath
+func hotPanic(code int) {
+	if code != 0 {
+		panic(code) // want `passing int to interface parameter of panic in hot path hotPanic`
+	}
+}
+
+// goodHot shows the clean idioms: same-root append, pointer to
+// interface (rides in the data word), constant panic operand.
+//
+// armvet:hotpath
+func goodHot(s []int, p *ring) []int {
+	s = append(s, 1)
+	s = append(s[:0], s...)
+	consumePtr(p)
+	if p == nil {
+		panic("alloc: nil ring")
+	}
+	return s
+}
+
+// coldEverything is not marked and not listed: allocate away.
+func coldEverything() *ring {
+	r := &ring{buf: make([]int, 4)}
+	r.buf = append(r.buf, len(fmt.Sprint(r)))
+	return r
+}

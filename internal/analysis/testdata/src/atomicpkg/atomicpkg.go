@@ -1,0 +1,42 @@
+// Package atomicpkg is the atomicvet fixture: state is accessed via
+// sync/atomic in open/isOpen, so every plain access elsewhere is a
+// race; other is never touched atomically and stays free.
+package atomicpkg
+
+import "sync/atomic"
+
+type gate struct {
+	state int32
+	other int32
+}
+
+func (g *gate) open() {
+	atomic.StoreInt32(&g.state, 1)
+}
+
+func (g *gate) isOpen() bool {
+	return atomic.LoadInt32(&g.state) == 1
+}
+
+func (g *gate) badRead() bool {
+	return g.state == 1 // want `state is accessed with sync/atomic elsewhere`
+}
+
+func (g *gate) badWrite() {
+	g.state = 0 // want `state is accessed with sync/atomic elsewhere`
+}
+
+func (g *gate) plainOther() int32 {
+	g.other = 2
+	return g.other
+}
+
+// typedAtomics are safe by construction: no findings on methods.
+type typedGate struct {
+	state atomic.Int32
+}
+
+func (g *typedGate) flip() bool {
+	g.state.Store(1)
+	return g.state.Load() == 1
+}

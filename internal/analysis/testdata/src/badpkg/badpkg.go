@@ -1,0 +1,22 @@
+// Package badpkg is a deliberately defective fixture: cmd/armvet's
+// smoke test runs the multichecker over it and asserts a nonzero exit
+// with a lockvet finding.
+package badpkg
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int // armvet:guardedby mu
+}
+
+func (b *box) Set(v int) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+// Peek reads v without the lock — the seeded defect.
+func (b *box) Peek() int {
+	return b.v
+}

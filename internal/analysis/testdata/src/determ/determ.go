@@ -1,0 +1,74 @@
+// Package determ is the determvet fixture: its name is listed in
+// analysis.DeterministicPackages, so the pass treats it like a real
+// deterministic-output package.
+package determ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()                // want `time\.Now in deterministic package`
+	return time.Since(start).Seconds() // want `time\.Since in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `global math/rand\.Intn`
+}
+
+// seededRand is the sanctioned pattern: explicit source, method calls.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func emitUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `map iteration order escapes into fmt\.Printf`
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map range`
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned pattern: the enclosing function
+// sorts the collected slice, so iteration order never escapes.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// aggregate ranges a map order-independently: no finding.
+func aggregate(m map[string]int) int {
+	top := 0
+	for _, v := range m {
+		if v > top {
+			top = v
+		}
+	}
+	return top
+}
+
+// localCollect appends to a slice declared inside the loop body: the
+// order dies with the iteration, no finding.
+func localCollect(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Package lock is the lockvet fixture: the n field is annotated
+// guardedby mu, and the pass must accept lock-taking functions and
+// armvet:holds-annotated helpers while flagging bare accesses.
+package lock
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // armvet:guardedby mu
+	ok int // unannotated: free access
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// addLocked is an internal helper on the locked path.
+//
+// armvet:holds mu
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `n is guarded by "mu" but Bad does not hold it`
+}
+
+func (c *counter) BadWrite(v int) {
+	c.n = v // want `n is guarded by "mu" but BadWrite does not hold it`
+}
+
+func (c *counter) Free() int {
+	return c.ok
+}
+
+// construct builds counters with composite-literal keys: construction
+// is pre-publication and not checked.
+func construct() *counter {
+	return &counter{n: 1, ok: 2}
+}

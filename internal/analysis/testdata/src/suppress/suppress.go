@@ -1,0 +1,30 @@
+// Package suppress verifies //armvet:ignore placement tolerance (the
+// directive-parser bugfix): trailing same-line, doc-comment group,
+// nolint-adjacent, and "all" placements must each silence their line,
+// while a directive naming a different pass must not.
+package suppress
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //armvet:ignore determvet — trailing same-line placement
+}
+
+// docGroup carries the directive inside its doc-comment group; the
+// group suppresses the first code line after it, which holds the
+// one-line body.
+//
+//armvet:ignore determvet
+func docGroup() time.Time { return time.Now() }
+
+func nolintAdjacent() time.Time {
+	return time.Now() //nolint:staticcheck //armvet:ignore determvet
+}
+
+func ignoreAll() time.Time {
+	return time.Now() //armvet:ignore all
+}
+
+func wrongPass() time.Time {
+	return time.Now() //armvet:ignore lockvet // want `time\.Now in deterministic package`
+}

@@ -12,6 +12,8 @@
 package mesi
 
 import (
+	"sort"
+
 	"armbar/internal/topo"
 )
 
@@ -122,7 +124,7 @@ func (d *Directory) install(ln *Line, core topo.CoreID, now float64) {
 		clear(cp.stale)
 		return
 	}
-	ln.copies[core] = &Copy{FetchedAt: now}
+	ln.copies[core] = &Copy{FetchedAt: now} //armvet:ignore allocvet — once per (core, line) first install; reused forever after
 }
 
 // Fetch installs a fresh valid copy of addr's line at core, effective at
@@ -190,7 +192,7 @@ func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, pr
 			continue
 		}
 		if cp.stale == nil {
-			cp.stale = make(map[uint64]uint64)
+			cp.stale = make(map[uint64]uint64) //armvet:ignore allocvet — lazy once-per-copy init; cleared and reused by install
 		}
 		if _, snapped := cp.stale[addr]; !snapped {
 			cp.stale[addr] = old
@@ -224,7 +226,9 @@ func (d *Directory) DropCopy(core topo.CoreID, addr uint64) {
 }
 
 // Sharers returns the cores currently holding any copy (valid or stale)
-// of addr's line.
+// of addr's line, in ascending core order. The copies map iterates in
+// random order (determvet), and callers must be able to log or compare
+// the slice without smuggling that order into output.
 func (d *Directory) Sharers(addr uint64) []topo.CoreID {
 	ln := d.lines[LineOf(addr)]
 	if ln == nil {
@@ -234,6 +238,7 @@ func (d *Directory) Sharers(addr uint64) []topo.CoreID {
 	for c := range ln.copies {
 		out = append(out, c)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -132,9 +132,9 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // hot paths should cache the pointer.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // armvet:guardedby mu
+	gauges     map[string]*Gauge     // armvet:guardedby mu
+	histograms map[string]*Histogram // armvet:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"armbar/internal/isa"
 	"armbar/internal/platform"
@@ -143,12 +144,19 @@ func (s *Spec) Run(tr sim.Tracer) (*Result, error) {
 	for _, v := range s.Vars {
 		addr[v] = m.Alloc(1)
 	}
-	for v, init := range s.Init {
+	// Iterate Init in sorted-name order: with several unknown vars the
+	// reported one must not depend on map iteration order (determvet).
+	initVars := make([]string, 0, len(s.Init))
+	for v := range s.Init {
+		initVars = append(initVars, v)
+	}
+	sort.Strings(initVars)
+	for _, v := range initVars {
 		a, ok := addr[v]
 		if !ok {
 			return nil, fmt.Errorf("scenario: init of unknown var %q", v)
 		}
-		m.SetInitial(a, init)
+		m.SetInitial(a, s.Init[v])
 	}
 
 	stats := make([]sim.ThreadStats, len(s.Threads))

@@ -83,7 +83,7 @@ func (h *eventHeap) pop() *event {
 		i = small
 	}
 	if cap(s) > shrinkCap && len(s)*4 <= cap(s) {
-		ns := make([]*event, len(s), cap(s)/2)
+		ns := make([]*event, len(s), cap(s)/2) //armvet:ignore allocvet — deliberate rare shrink to release backing (TestEventHeapReleasesBacking)
 		copy(ns, s)
 		s = ns
 	}

@@ -110,20 +110,21 @@ type Machine struct {
 	// Monitor state of the direct-dispatch scheduler (sched.go). mu
 	// guards everything below plus all simulation structures; threads
 	// mutate machine state only while holding it, one at a time, in
-	// the deterministic min-(now, id) service order.
+	// the deterministic min-(now, id) service order. The armvet
+	// annotations make lockvet enforce that contract statically.
 	mu         sync.Mutex
-	runq       runHeap // live threads parked in dispatch
-	alive      int     // spawned minus finished threads
-	lastServed *Thread // previous op's thread (see noteServed)
-	runDone    chan struct{} // closed when the last thread finishes
-	fatal      any           // panic value to re-raise from Run
-	finish     float64       // max thread completion time so far
-	started    bool
-	done       bool
+	runq       runHeap       // armvet:guardedby mu — live threads parked in dispatch
+	alive      int           // armvet:guardedby mu — spawned minus finished threads
+	lastServed *Thread       // armvet:guardedby mu — previous op's thread (see noteServed)
+	runDone    chan struct{} // armvet:guardedby mu — closed when the last thread finishes
+	fatal      any           // armvet:guardedby mu — panic value to re-raise from Run
+	finish     float64       // armvet:guardedby mu — max thread completion time so far
+	started    bool          // armvet:guardedby mu
+	done       bool          // armvet:guardedby mu
 
 	nextAddr uint64
-	stats    Stats
-	now      float64 // time of the last processed operation
+	stats    Stats   // armvet:guardedby mu — snapshot readable after Run (see Stats)
+	now      float64 // armvet:guardedby mu — time of the last processed operation
 	tracer   Tracer
 }
 
@@ -177,6 +178,11 @@ func (m *Machine) Alloc(lines int) uint64 {
 
 // SetInitial initializes committed memory before the run starts.
 func (m *Machine) SetInitial(addr, v uint64) {
+	// Spawned threads' goroutines are already live and take m.mu in
+	// dispatch, so the started check (and the directory write it
+	// orders) must hold the lock too — lockvet caught the bare read.
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.started {
 		panic("sim: SetInitial after Run")
 	}
@@ -263,7 +269,9 @@ func (m *Machine) Run() float64 {
 }
 
 // Stats returns the counters accumulated so far (complete after Run).
-func (m *Machine) Stats() Stats { return m.stats }
+// Run's return synchronizes the snapshot; callers read it from the
+// goroutine that called Run, not concurrently with it.
+func (m *Machine) Stats() Stats { return m.stats } //armvet:ignore lockvet — post-Run snapshot read
 
 // Seconds converts a cycle count on this machine to seconds.
 func (m *Machine) Seconds(cycles float64) float64 {
@@ -290,6 +298,8 @@ func (m *Machine) apply(ev *event) {
 const maxFreeEvents = 1024
 
 // newEvent takes a commit event off the free list, or allocates one.
+//
+// armvet:holds mu
 func (m *Machine) newEvent() *event {
 	if n := len(m.freeEv); n > 0 {
 		e := m.freeEv[n-1]
@@ -298,7 +308,7 @@ func (m *Machine) newEvent() *event {
 		return e
 	}
 	m.stats.EventAllocs++
-	return &event{}
+	return &event{} //armvet:ignore allocvet — freelist miss path; EventAllocs counts it
 }
 
 // recycle returns an applied event to the free list.
@@ -319,6 +329,7 @@ func (m *Machine) invProc() float64 {
 	return m.rng.Float64() * m.cost.InvalidationDelay
 }
 
+// armvet:holds mu
 func (m *Machine) schedule(ev *event) {
 	m.eventSq++
 	ev.seq = m.eventSq

@@ -52,7 +52,7 @@ func SetMachineTracerFactory(f func() Tracer) {
 // automatically when a global registry is installed; it can also be
 // called directly after a standalone run.
 func (m *Machine) MetricsInto(reg *metrics.Registry) {
-	s := m.stats
+	s := m.stats //armvet:ignore lockvet — post-Run snapshot, same contract as Stats()
 	reg.Counter("sim_machines_total").Inc()
 	reg.Counter("sim_loads_total").Add(s.Loads)
 	reg.Counter("sim_stores_total").Add(s.Stores)
@@ -67,7 +67,7 @@ func (m *Machine) MetricsInto(reg *metrics.Registry) {
 	reg.Counter("sim_inline_dispatches_total").Add(s.InlineDispatches)
 	reg.Counter("sim_park_wakes_total").Add(s.ParkWakes)
 	reg.Gauge("sim_barrier_stall_cycles_total").Add(s.BarrierStalls)
-	reg.Gauge("sim_virtual_cycles_total").Add(m.now)
+	reg.Gauge("sim_virtual_cycles_total").Add(m.now) //armvet:ignore lockvet — post-Run snapshot
 	reg.Gauge("sim_event_heap_depth_max").Max(float64(s.MaxEventHeap))
 	reg.Gauge("sim_store_buffer_occupancy_max").Max(float64(s.MaxStoreBuf))
 	if total := s.EventAllocs + s.EventReuses; total > 0 {

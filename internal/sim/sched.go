@@ -34,7 +34,7 @@ func (t *Thread) dispatch() uint64 {
 		// skip the run queue entirely and retry-loop in place.
 		for {
 			if t.now > m.cfg.MaxTime {
-				m.fatalLocked(m.stuckReport(t))
+				m.fatalStuck(t)
 			}
 			if m.safeProcess(&t.req) {
 				break
@@ -48,7 +48,7 @@ func (t *Thread) dispatch() uint64 {
 		if m.started && m.runq.len() == m.alive {
 			if m.runq.min() == t {
 				if t.now > m.cfg.MaxTime {
-					m.fatalLocked(m.stuckReport(t))
+					m.fatalStuck(t)
 				}
 				if !m.safeProcess(&t.req) {
 					// The op only advanced this thread's clock (waiting
@@ -141,7 +141,7 @@ func (m *Machine) finishThread(t *Thread) {
 // it surfaces from Run on the caller's goroutine — the contract the
 // channel engine's central scheduler loop provided.
 func (m *Machine) safeProcess(r *request) (ok bool) {
-	defer func() {
+	defer func() { //armvet:ignore allocvet — open-coded defer; perf gate measures 0 allocs/op
 		if p := recover(); p != nil {
 			m.fatalLocked(p)
 		}
@@ -152,6 +152,8 @@ func (m *Machine) safeProcess(r *request) (ok bool) {
 // fatalLocked records a fatal condition, wakes Run (which re-panics
 // it), and parks the current thread goroutine for good. Must be called
 // with m.mu held; it does not return.
+//
+// armvet:holds mu
 func (m *Machine) fatalLocked(v any) {
 	m.fatal = v
 	if m.started {
@@ -161,12 +163,25 @@ func (m *Machine) fatalLocked(v any) {
 	select {}
 }
 
+// fatalStuck is the watchdog's exit: building the report string and
+// boxing it into fatalLocked's any parameter stay out of dispatch,
+// which must remain allocation-free on its live paths.
+//
+// armvet:holds mu
+//
+//go:noinline
+func (m *Machine) fatalStuck(t *Thread) {
+	m.fatalLocked(m.stuckReport(t))
+}
+
 // noteServed maintains the dispatch counters from the (deterministic)
 // service sequence: consecutive ops by one thread need no handoff —
 // the thread processed its own request inline on re-entry — while a
 // change of thread implies a park on one side and a wake on the other.
 // Deriving the split this way keeps Stats independent of real-time
 // arrival order, so identical seeds still produce identical Stats.
+//
+// armvet:holds mu
 func (m *Machine) noteServed(t *Thread) {
 	if m.lastServed == t {
 		m.stats.InlineDispatches++
@@ -213,7 +228,7 @@ func (h *runHeap) remove(i int) {
 	s := h.s
 	n := len(s) - 1
 	if i > n || s[i] == nil {
-		panic(fmt.Sprintf("sim: runHeap.remove(%d) of %d", i, n+1))
+		badRemove(i, n+1)
 	}
 	if i != n {
 		s[i] = s[n]
@@ -224,6 +239,14 @@ func (h *runHeap) remove(i int) {
 	if i != n {
 		h.fix(i)
 	}
+}
+
+// badRemove reports an out-of-range heap removal. Separate from
+// remove so the hot path carries no fmt machinery or boxing.
+//
+//go:noinline
+func badRemove(i, n int) {
+	panic(fmt.Sprintf("sim: runHeap.remove(%d) of %d", i, n))
 }
 
 func (h *runHeap) up(i int) {

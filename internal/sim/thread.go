@@ -58,11 +58,11 @@ type Thread struct {
 
 	now           float64
 	buf           *sb.Buffer
-	syncPoint     float64            // invalidations before this are processed: no stale reads older than it
-	storeFloor    float64            // commits of future stores may not precede this
-	lastLoadAt    float64            // completion time of the most recent load
-	prevLoadIssue float64            // issue time of the most recent load (early-binding horizon)
-	lastAddrStore *addrTimes         // per-address last scheduled commit (per-location coherence)
+	syncPoint     float64    // invalidations before this are processed: no stale reads older than it
+	storeFloor    float64    // commits of future stores may not precede this
+	lastLoadAt    float64    // completion time of the most recent load
+	prevLoadIssue float64    // issue time of the most recent load (early-binding horizon)
+	lastAddrStore *addrTimes // per-address last scheduled commit (per-location coherence)
 
 	finished bool
 	stats    ThreadStats
@@ -204,6 +204,8 @@ func (t *Thread) CompareAndSwap(addr, old, new uint64) bool {
 // stays queued and retries at its new time) — this keeps directory
 // mutations in global start-time order, which is what makes values
 // read by one thread never come from another thread's future.
+//
+// armvet:holds mu
 func (m *Machine) process(r *request) bool {
 	t := r.t
 	m.retireStores(t.now)
@@ -255,7 +257,7 @@ func (m *Machine) process(r *request) bool {
 		r.result = m.doRMW(t, r)
 		m.emit(t, TraceRMW, r.addr, start, t.now, "")
 	default:
-		panic(fmt.Sprintf("sim: bad op %d", r.kind))
+		badOp(r.kind)
 	}
 	m.noteServed(t)
 	return true
@@ -268,6 +270,8 @@ func (m *Machine) process(r *request) bool {
 // point — the linearization order is the deterministic global
 // start-time order. The release half (waiting out the store buffer)
 // happened in process() via clock-advance-and-retry.
+//
+// armvet:holds mu
 func (m *Machine) doRMW(t *Thread, r *request) uint64 {
 	old := m.dir.Committed(r.addr)
 	commitAt := t.now + 1
@@ -306,6 +310,8 @@ func (m *Machine) doRMW(t *Thread, r *request) uint64 {
 }
 
 // doLoad implements relaxed and acquiring loads.
+//
+// armvet:holds mu
 func (m *Machine) doLoad(t *Thread, addr uint64, acquire bool) uint64 {
 	t.stats.Loads++
 	m.stats.Loads++
@@ -384,6 +390,8 @@ func (m *Machine) forward(t *Thread, addr uint64, out *uint64) bool {
 // readCache serves a load from the local copy when permitted. In WMM a
 // copy whose invalidation arrived after the thread's last sync point
 // remains readable (stale) for InvalidationDelay cycles.
+//
+// armvet:holds mu
 func (m *Machine) readCache(t *Thread, addr uint64, out *uint64) bool {
 	cp := m.dir.CopyAt(t.core, addr)
 	if cp == nil {
@@ -413,6 +421,8 @@ func (m *Machine) readCache(t *Thread, addr uint64, out *uint64) bool {
 
 // doStore implements relaxed stores and STLR. The caller has already
 // ensured the store buffer has room.
+//
+// armvet:holds mu
 func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 	t.stats.Stores++
 	m.stats.Stores++
@@ -469,6 +479,8 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 }
 
 // doBarrier implements the standalone ordering instructions.
+//
+// armvet:holds mu
 func (m *Machine) doBarrier(t *Thread, b isa.Barrier) {
 	start := t.now
 	switch b {
@@ -536,12 +548,26 @@ func (m *Machine) doBarrier(t *Thread, b isa.Barrier) {
 		t.now += m.cost.PipelineFlush
 
 	default:
-		panic(fmt.Sprintf("sim: unsupported barrier %v", b))
+		badBarrier(b)
 	}
 	if t.now > start {
 		t.stats.BarrierStalled += t.now - start
 		m.stats.BarrierStalls += t.now - start
 	}
+}
+
+// badOp and badBarrier report malformed requests. They live outside
+// process/doBarrier so the dispatch switches carry no fmt machinery
+// or panic-operand boxing.
+//
+//go:noinline
+func badOp(k opKind) {
+	panic(fmt.Sprintf("sim: bad op %d", k))
+}
+
+//go:noinline
+func badBarrier(b isa.Barrier) {
+	panic(fmt.Sprintf("sim: unsupported barrier %v", b))
 }
 
 func maxf(a, b float64) float64 {

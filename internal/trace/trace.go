@@ -244,8 +244,8 @@ type Collector struct {
 	maxMachines   int
 
 	mu      sync.Mutex
-	recs    []*Recorder
-	skipped int
+	recs    []*Recorder // armvet:guardedby mu
+	skipped int         // armvet:guardedby mu
 }
 
 // NewCollector returns a collector keeping at most perMachineCap
