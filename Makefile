@@ -8,7 +8,7 @@ GO ?= go
 # `-run 'Test'` keeps the race pass on the (fast) unit tests rather
 # than the benchmarks.
 .PHONY: verify
-verify: build vet lint test race perfcheck
+verify: build vet lint test race cachecheck perfcheck
 
 .PHONY: build
 build:
@@ -40,10 +40,18 @@ race:
 determinism:
 	ARMBAR_DETERMINISM_FULL=1 $(GO) test -run TestParallelOutputMatchesSequential -timeout 120m ./internal/figures
 
-# Simulator hot-path microbenchmarks (rendezvous, store commit, DMB).
+# Result-cache equivalence gate: the fast golden subset regenerated
+# cold, warm (from the cache the cold run filled) and with -cache=off
+# must be byte-identical. Runs entirely in temp dirs.
+.PHONY: cachecheck
+cachecheck:
+	./scripts/cache_check.sh
+
+# Simulator hot-path microbenchmarks (rendezvous, store commit, DMB,
+# cache lookup).
 .PHONY: bench-sim
 bench-sim:
-	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit' -benchmem ./internal/sim ./internal/cellcache
 
 # Regenerate the committed BENCH_sim.json snapshot from bench-sim.
 .PHONY: bench-snapshot
@@ -60,3 +68,8 @@ perfcheck:
 .PHONY: bench-all
 bench-all:
 	$(GO) test -run '^$$' -bench BenchmarkRunnerAll -benchtime 1x .
+
+# Remove generated local state (the default result-cache directory).
+.PHONY: clean
+clean:
+	rm -rf .armbar-cache

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"armbar/internal/cellcache"
+)
+
+// cacheMain implements `armbar cache [stats|gc|clear]`, the maintenance
+// verbs of the persistent result cache (see README "Result cache").
+// stats prints the cache's self-description; gc drops records written
+// by other code versions (and, with -max-age, whole shard files not
+// touched for that long); clear removes everything.
+func cacheMain(args []string) int {
+	fs := flag.NewFlagSet("armbar cache", flag.ExitOnError)
+	dir := fs.String("dir", ".armbar-cache", "cache directory to operate on")
+	maxAge := fs.Duration("max-age", 0, "with gc: also drop shard files older than this (0 = keep all ages)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: armbar cache [stats|gc|clear] [-dir .armbar-cache] [-max-age 720h]\n")
+		fs.PrintDefaults()
+	}
+	verb := "stats"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		verb = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+
+	c := cellcache.Open(*dir)
+	defer c.Close()
+	switch verb {
+	case "stats":
+		// nothing extra: stats print below for every verb
+	case "gc":
+		removed, reclaimed := c.GC(*maxAge)
+		fmt.Printf("gc: removed %d record(s), reclaimed %d byte(s)\n", removed, reclaimed)
+	case "clear":
+		c.Clear()
+		fmt.Printf("clear: cache emptied\n")
+	default:
+		fmt.Fprintf(os.Stderr, "armbar cache: unknown verb %q (want stats, gc or clear)\n", verb)
+		fs.Usage()
+		return 2
+	}
+	st := c.Stats()
+	fmt.Printf("dir:       %s\n", st.Dir)
+	fmt.Printf("code hash: %s\n", st.CodeHash)
+	fmt.Printf("entries:   %d (%d from other code versions)\n", st.Entries, st.StaleEntries)
+	fmt.Printf("bytes:     %d\n", st.Bytes)
+	if st.DamagedFiles > 0 {
+		fmt.Printf("damaged:   %d shard file(s) had a corrupt tail (discarded)\n", st.DamagedFiles)
+	}
+	if st.MemoryOnly {
+		fmt.Printf("warning:   directory unusable; cache is memory-only\n")
+	}
+	return 0
+}

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"armbar/internal/cellcache"
 	"armbar/internal/figures"
 	"armbar/internal/metrics"
 	"armbar/internal/runner"
@@ -57,7 +58,40 @@ var (
 	traceCap    = flag.Int("trace-cap", 4096, "with -trace-out: most recent events kept per machine (0 = unlimited)")
 	traceMach   = flag.Int("trace-machines", 256, "with -trace-out: maximum machines traced")
 	manifestOut = flag.String("manifest", "", "write a run manifest (seed, flags, git rev, per-experiment metrics) to this file")
+
+	cacheOn  = onOff(true)
+	cacheDir = flag.String("cache-dir", ".armbar-cache", "result-cache directory (see README \"Result cache\")")
 )
+
+func init() {
+	flag.Var(&cacheOn, "cache", "consult the persistent result cache: on|off (default on; -cache=off recomputes everything)")
+}
+
+// onOff is a boolean flag that additionally accepts the on/off
+// spelling the docs use (`-cache=off`), while keeping bare `-cache`
+// working like a normal bool flag.
+type onOff bool
+
+func (o *onOff) String() string {
+	if o != nil && bool(*o) {
+		return "on"
+	}
+	return "off"
+}
+
+func (o *onOff) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "", "on", "true", "1", "yes":
+		*o = true
+	case "off", "false", "0", "no":
+		*o = false
+	default:
+		return fmt.Errorf("want on or off, got %q", s)
+	}
+	return nil
+}
+
+func (o *onOff) IsBoolFlag() bool { return true }
 
 // manifest is the self-describing record written next to a run's
 // results: everything needed to reproduce or audit the run.
@@ -75,6 +109,7 @@ type manifest struct {
 	Experiments []figures.ExperimentRun `json:"experiments"`
 	MetricsFile string                  `json:"metrics_file,omitempty"`
 	TraceFile   string                  `json:"trace_file,omitempty"`
+	Cache       *cellcache.Stats        `json:"cache,omitempty"`
 }
 
 // gitRevision reads the VCS revision stamped into the binary, falling
@@ -115,11 +150,15 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "perfcheck" {
 		os.Exit(perfcheckMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		os.Exit(cacheMain(os.Args[2:]))
+	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] [-cache=off] <experiment> [...]\n")
 		fmt.Fprintf(os.Stderr, "       armbar perfcheck [-snapshot BENCH_sim.json]\n")
+		fmt.Fprintf(os.Stderr, "       armbar cache [stats|gc|clear] [-dir .armbar-cache]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(figures.Names(), " "))
 		os.Exit(2)
 	}
@@ -180,6 +219,16 @@ func main() {
 		defer pool.Close()
 	}
 	o := figures.Options{Quick: *quick, Seed: *seed, Pool: pool}
+
+	// Persistent result cache: cells hit before they simulate. -cache=off
+	// disables both lookup and store, reproducing the uncached pipeline.
+	var cache *cellcache.Cache
+	if bool(cacheOn) {
+		cache = cellcache.Open(*cacheDir)
+		cache.SetMetrics(reg) // nil-safe: dark without -metrics
+		defer cache.Close()
+		o.Cache = cache
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -244,8 +293,14 @@ func main() {
 
 	// Close the pool before exporting so the derived whole-run gauges
 	// (worker utilization, cells/sec) are frozen; the deferred Close is
-	// then a no-op.
+	// then a no-op. The cache closes next so its shard files and index
+	// are durable before the manifest records its final stats.
 	pool.Close()
+	if cache != nil {
+		cache.Close()
+		st := cache.Stats()
+		man.Cache = &st
+	}
 
 	if reg != nil {
 		if err := writeMetrics(reg, *metricsOut, *metricsProm); err != nil {

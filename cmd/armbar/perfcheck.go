@@ -37,6 +37,10 @@ func perfcheckMain(argv []string) int {
 	}
 	fmt.Fprintf(os.Stderr, "# gating against %s (%s, %s), %d runs per benchmark\n",
 		*snapPath, snap.Date, snap.Go, *runs)
+	if snap.ColdWallSeconds > 0 && snap.WarmWallSeconds > 0 {
+		fmt.Fprintf(os.Stderr, "# snapshot result-cache context: `-quick all` cold %.1fs, warm %.1fs (%.0f%% of cold)\n",
+			snap.ColdWallSeconds, snap.WarmWallSeconds, 100*snap.WarmWallSeconds/snap.ColdWallSeconds)
+	}
 
 	cur := make([]perfgate.Bench, 0, len(simbench.Benches))
 	for _, nb := range simbench.Benches {

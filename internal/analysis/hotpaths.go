@@ -12,16 +12,17 @@ package analysis
 // "determ" and "suppress" are analysistest fixture packages for the
 // pass and for the //armvet:ignore placement rules.
 var DeterministicPackages = map[string]bool{
-	"armbar/internal/sim":      true,
-	"armbar/internal/figures":  true,
-	"armbar/internal/report":   true,
-	"armbar/internal/runner":   true,
-	"armbar/internal/metrics":  true,
-	"armbar/internal/mesi":     true,
-	"armbar/internal/trace":    true,
-	"armbar/internal/scenario": true,
-	"determ":                   true,
-	"suppress":                 true,
+	"armbar/internal/sim":       true,
+	"armbar/internal/figures":   true,
+	"armbar/internal/report":    true,
+	"armbar/internal/runner":    true,
+	"armbar/internal/metrics":   true,
+	"armbar/internal/mesi":      true,
+	"armbar/internal/trace":     true,
+	"armbar/internal/scenario":  true,
+	"armbar/internal/cellcache": true,
+	"determ":                    true,
+	"suppress":                  true,
 }
 
 // HotPathFuncs is the committed list of functions on the simulator's
@@ -112,4 +113,10 @@ var HotPathFuncs = map[string]bool{
 
 	// Interconnect cost model (internal/ace).
 	"armbar/internal/ace.Fabric.Response": true,
+
+	// Result-cache lookup (internal/cellcache): every cell probes the
+	// cache before simulating, so key build + map probe must not
+	// allocate (BenchmarkCellCacheHit pins this at 0 allocs/op).
+	"armbar/internal/cellcache.keyFor":    true,
+	"armbar/internal/cellcache.Cache.Get": true,
 }

@@ -1,0 +1,13 @@
+package cellcache_test
+
+import (
+	"testing"
+
+	"armbar/internal/simbench"
+)
+
+// The benchmark body lives in internal/simbench beside the simulator
+// hot-path set, so `armbar perfcheck` reruns exactly what this wrapper
+// measures against the committed BENCH_sim.json snapshot.
+
+func BenchmarkCellCacheHit(b *testing.B) { simbench.CellCacheHit(b) }

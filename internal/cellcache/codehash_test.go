@@ -1,0 +1,113 @@
+package cellcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays out root/internal/<pkg>/<name> files for HashPackages.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(root, "internal", rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHashPackagesFlipsOnSourceEdit is the cache-invalidation
+// guarantee: any edit to a simulation-affecting source file changes
+// the code hash, so every key built afterwards misses and the edited
+// code recomputes from scratch.
+func TestHashPackagesFlipsOnSourceEdit(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"alpha/a.go": "package alpha\n\nconst latency = 10\n",
+		"alpha/b.go": "package alpha\n\nconst width = 4\n",
+		"beta/b.go":  "package beta\n\nvar jitter = 3\n",
+	})
+	pkgs := []string{"alpha", "beta"}
+	base, err := HashPackages(root, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := HashPackages(root, pkgs); again != base {
+		t.Fatal("hash must be deterministic over an unchanged tree")
+	}
+
+	// One-byte semantic edit.
+	writeTree(t, root, map[string]string{"alpha/a.go": "package alpha\n\nconst latency = 11\n"})
+	edited, err := HashPackages(root, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited == base {
+		t.Fatal("a one-byte source edit must flip the code hash")
+	}
+
+	// Adding a file flips it again; adding a _test.go file does not
+	// (tests cannot affect experiment output).
+	writeTree(t, root, map[string]string{"alpha/c.go": "package alpha\n"})
+	added, _ := HashPackages(root, pkgs)
+	if added == edited {
+		t.Fatal("a new source file must flip the code hash")
+	}
+	writeTree(t, root, map[string]string{"alpha/c_test.go": "package alpha\n\nfunc helper() {}\n"})
+	withTest, _ := HashPackages(root, pkgs)
+	if withTest != added {
+		t.Fatal("_test.go files must not contribute to the code hash")
+	}
+
+	// A listed-but-absent package is recorded, so creating it later
+	// invalidates too.
+	withGamma, err := HashPackages(root, append(pkgs, "gamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withGamma == added {
+		t.Fatal("listing an absent package must change the hash")
+	}
+	writeTree(t, root, map[string]string{"gamma/g.go": "package gamma\n"})
+	gammaBorn, _ := HashPackages(root, append(pkgs, "gamma"))
+	if gammaBorn == withGamma {
+		t.Fatal("an absent package coming into existence must flip the hash")
+	}
+}
+
+func TestHashPackagesEmptyTreeErrors(t *testing.T) {
+	if _, err := HashPackages(t.TempDir(), []string{"alpha"}); err == nil {
+		t.Fatal("a tree with zero source files must error, not hash to something")
+	}
+}
+
+// TestCodeHashCoversRealSources ties the process-wide hash to the
+// actual module tree: CodeHash must equal a direct HashPackages over
+// simPackages, be stable across calls, and the tree must contain the
+// load-bearing packages (a typo in simPackages would otherwise
+// silently hash an "absent" marker forever).
+func TestCodeHashCoversRealSources(t *testing.T) {
+	root, ok := findModuleRoot()
+	if !ok {
+		t.Skip("module root not locatable (test binary moved out of tree)")
+	}
+	for _, pkg := range []string{"sim", "figures", "cellcache", "runner"} {
+		if _, err := os.Stat(filepath.Join(root, "internal", pkg)); err != nil {
+			t.Fatalf("simPackages names %q but %v", pkg, err)
+		}
+	}
+	want, err := HashPackages(root, simPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CodeHash(); got != want {
+		t.Fatalf("CodeHash() = %x, direct HashPackages = %x", got, want)
+	}
+	if CodeHash() != CodeHash() {
+		t.Fatal("CodeHash must be stable within a process")
+	}
+}

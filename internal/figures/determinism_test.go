@@ -21,7 +21,9 @@ var fastSubset = []string{
 }
 
 // render regenerates the named experiments and returns their combined
-// CSV, the exact bytes `armbar -csv` would print.
+// CSV, the exact bytes `armbar -csv` would print. Each experiment runs
+// under its own scope, as cmd/armbar does — a no-op without a cache in
+// o, and the configuration the warm-cache golden test exercises.
 func render(o figures.Options, names []string) string {
 	var b strings.Builder
 	for _, name := range names {
@@ -29,7 +31,7 @@ func render(o figures.Options, names []string) string {
 		if !ok {
 			panic(fmt.Sprintf("unknown experiment %q", name))
 		}
-		for _, t := range exp.Gen(o) {
+		for _, t := range exp.Gen(o.Scoped(name)) {
 			b.WriteString(t.CSV())
 		}
 	}

@@ -34,10 +34,66 @@ import (
 // fast smoke runs; the zero value is the full configuration. Pool is
 // the worker pool experiment cells fan out over; nil runs every cell
 // inline on the caller's goroutine (the sequential baseline).
+//
+// Cache is the persistent cell-result cache (internal/cellcache); nil
+// disables caching. Cached lookups only happen under an experiment
+// scope — Scoped(name) binds one — so generators invoked directly with
+// an unscoped Options always recompute.
 type Options struct {
 	Quick bool
 	Seed  int64
 	Pool  *runner.Pool
+	Cache runner.CellCache
+
+	scope *cellScope
+}
+
+// cellScope tracks, per experiment invocation, how many cell fan-outs
+// the generator has issued so far: the sequence number keeps two Map
+// calls of one generator from colliding on the same cache keys. Cell
+// fan-out happens on the assembling goroutine only, so a plain int is
+// safe.
+type cellScope struct {
+	exp string
+	seq int
+}
+
+// Scoped returns a copy of o bound to the named experiment, enabling
+// cached cell lookups for the duration of one generator invocation.
+// RunInstrumented applies it automatically; call it directly when
+// invoking exp.Gen by hand (the determinism and golden tests do).
+func (o Options) Scoped(exp string) Options {
+	o.scope = &cellScope{exp: exp}
+	return o
+}
+
+// cellScopeFor hands cells/cellGrid the cache and the scope string of
+// the next fan-out, or (nil, "") when caching is off. The scope folds
+// in everything that shapes cell meaning besides the index: experiment
+// name, fan-out sequence, quick flag, seed, and cell count. The code
+// version is folded in by the cache itself.
+func (o Options) cellScopeFor(n int) (runner.CellCache, string) {
+	if o.Cache == nil || o.scope == nil {
+		return nil, ""
+	}
+	seq := o.scope.seq
+	o.scope.seq++
+	return o.Cache, fmt.Sprintf("%s#%d|quick=%t|seed=%d|n=%d", o.scope.exp, seq, o.Quick, o.seed(), n)
+}
+
+// cellMap evaluates fn(0..n-1) as n independent cells through the pool,
+// consulting the result cache first when one is bound. Every generator
+// fans out through this (or cellGrid) so `armbar -cache` accelerates
+// the whole registry uniformly.
+func cellMap[T any](o Options, n int, fn func(i int) T) []T {
+	cc, scope := o.cellScopeFor(n)
+	return runner.MapCached(o.Pool, cc, scope, n, fn)
+}
+
+// cellGrid is cellMap over a rows × cols grid, the shape of most sweeps.
+func cellGrid[T any](o Options, rows, cols int, fn func(r, c int) T) [][]T {
+	cc, scope := o.cellScopeFor(rows * cols)
+	return runner.GridCached(o.Pool, cc, scope, rows, cols, fn)
 }
 
 func (o Options) seed() int64 {
@@ -114,7 +170,7 @@ func Table1(o Options) *report.Table {
 	p := platform.Kunpeng916()
 	test := litmus.MessagePassing(isa.None, isa.None)
 	modes := []sim.Mode{sim.TSO, sim.WMM}
-	results := runner.Map(o.Pool, len(modes), func(i int) *litmus.Result {
+	results := cellMap(o, len(modes), func(i int) *litmus.Result {
 		return litmus.Run(p, modes[i], test, runs, o.seed())
 	})
 	for i, mode := range modes {
@@ -174,7 +230,7 @@ func Fig2(o Options) []*report.Table {
 	nops := []int{10, 30, 50}
 	variants := absmodel.Figure2Variants()
 	nV, nN := len(variants), len(nops)
-	vals := runner.Map(o.Pool, len(bindings)*nV*nN, func(k int) float64 {
+	vals := cellMap(o, len(bindings)*nV*nN, func(k int) float64 {
 		b := bindings[k/(nV*nN)]
 		v := variants[k/nN%nV]
 		n := nops[k%nN]
@@ -240,7 +296,7 @@ func Fig3(o Options) []*report.Table {
 	variants := absmodel.Figure3Variants()
 	nV := len(variants)
 	nN := len(bindings[0].Nops) // all subfigures sweep three paddings
-	vals := runner.Map(o.Pool, len(bindings)*nV*nN, func(k int) float64 {
+	vals := cellMap(o, len(bindings)*nV*nN, func(k int) float64 {
 		b := bindings[k/(nV*nN)]
 		v := variants[k/nN%nV]
 		n := b.Nops[k%nN]
@@ -280,16 +336,18 @@ func Fig4(o Options) *report.Table {
 		{"Kunpeng916 same node", kpS, same},
 		{"Kunpeng916 cross nodes", kpC, cross},
 	}
+	// Exported fields: cell results round-trip through the gob-encoded
+	// result cache.
 	type tip struct {
-		nops  int
-		ratio float64
+		Nops  int
+		Ratio float64
 	}
-	tips := runner.Map(o.Pool, len(binds), func(i int) tip {
+	tips := cellMap(o, len(binds), func(i int) tip {
 		n, r := absmodel.TippingPoint(binds[i].plat, binds[i].cores, 0.95, o.seed())
 		return tip{n, r}
 	})
 	for i, b := range binds {
-		t.Row(b.label, tips[i].nops, tips[i].ratio)
+		t.Row(b.label, tips[i].Nops, tips[i].Ratio)
 	}
 	t.Note = "paper: ratio 17.90/31.01 ≈ 3.38/6.54 ≈ 1/2 at 150 (same node) / 700 (cross) nops"
 	return t
@@ -303,7 +361,7 @@ func Fig5(o Options) *report.Table {
 	variants := absmodel.Figure5Variants()
 	t := report.New("Figure 5: load+store, Kunpeng916 cross nodes (10^6 loops/s)",
 		append([]string{"Approach"}, nopCols(nops)...)...)
-	vals := runner.Grid(o.Pool, len(variants), len(nops), func(r, c int) float64 {
+	vals := cellGrid(o, len(variants), len(nops), func(r, c int) float64 {
 		return absmodel.Run(absmodel.Config{
 			Plat: p, Cores: cross, Pattern: absmodel.LoadStore,
 			Variant: variants[r], Nops: nops[c], Iters: iters, Seed: o.seed(),
@@ -331,7 +389,7 @@ func Fig6a(o Options) *report.Table {
 	cols = append(cols, "Ideal")
 	t := report.New("Figure 6a: producer-consumer normalized throughput", cols...)
 	bindings := pcBindings()
-	vals := runner.Grid(o.Pool, len(bindings), len(combos), func(r, c int) float64 {
+	vals := cellGrid(o, len(bindings), len(combos), func(r, c int) float64 {
 		b := bindings[r]
 		return pc.Run(pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
 			Mode: pc.Classic, Combo: combos[c], Messages: msgs, Seed: o.seed()}).Throughput()
@@ -355,7 +413,7 @@ func Fig6b(o Options) *report.Table {
 	best := pc.Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
 	bindings := pcBindings()
 	// Columns: 0 = best combo, 1 = theoretical, 2 = pilot, 3 = ideal.
-	vals := runner.Grid(o.Pool, len(bindings), 4, func(r, c int) float64 {
+	vals := cellGrid(o, len(bindings), 4, func(r, c int) float64 {
 		b := bindings[r]
 		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
 			Messages: msgs, Seed: o.seed()}
@@ -394,7 +452,7 @@ func Fig6c(o Options) *report.Table {
 	nS := len(sizes)
 	// Cell layout: (binding × size) rows, columns 0 = classic best
 	// combo, 1 = Pilot.
-	vals := runner.Grid(o.Pool, len(bindings)*nS, 2, func(r, c int) float64 {
+	vals := cellGrid(o, len(bindings)*nS, 2, func(r, c int) float64 {
 		b := bindings[r/nS]
 		s := sizes[r%nS]
 		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
@@ -429,7 +487,7 @@ func Fig6d(o Options) *report.Table {
 		}
 	}
 	buffers := []dedup.Buffer{dedup.Q, dedup.RB, dedup.RBP}
-	vals := runner.Grid(o.Pool, len(workloads), len(buffers), func(r, c int) float64 {
+	vals := cellGrid(o, len(workloads), len(buffers), func(r, c int) float64 {
 		return dedup.Run(dedup.Config{Plat: platform.Kunpeng916(), Buffer: buffers[c],
 			W: workloads[r], Seed: o.seed()}).Throughput()
 	})
@@ -451,7 +509,7 @@ func Fig7a(o Options) *report.Table {
 	nG := len(globals)
 	// Cell layout: (platform × globals) rows, columns 0 = normal
 	// unlock barrier, 1 = removed (dependency).
-	vals := runner.Grid(o.Pool, len(plats)*nG, 2, func(r, c int) float64 {
+	vals := cellGrid(o, len(plats)*nG, 2, func(r, c int) float64 {
 		p := plats[r/nG]
 		threads := 12
 		if p.Sys.NumCores() <= 8 {
@@ -499,7 +557,7 @@ func Fig7b(o Options) *report.Table {
 	t := report.New("Figure 7b: delegation lock barrier combos (normalized, FFWD, 1 global counter)",
 		"Combo", "FFWD", "DSMSynch")
 	kinds := []locks.Kind{locks.FFWD, locks.DSMSynch}
-	vals := runner.Grid(o.Pool, len(combos), len(kinds), func(r, c int) float64 {
+	vals := cellGrid(o, len(combos), len(kinds), func(r, c int) float64 {
 		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[c],
 			Threads: o.threads(), Ops: ops, ServeBarriers: [2]isa.Barrier{combos[r].x, combos[r].y},
 			Seed: o.seed()}).Throughput()
@@ -523,7 +581,7 @@ func Fig7c(o Options) *report.Table {
 	t := report.New("Figure 7c: lock throughput vs contention (10^6 CS/s)", cols...)
 	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
 		locks.FFWD, locks.FFWDPilot}
-	vals := runner.Grid(o.Pool, len(kinds), len(intervals), func(r, c int) float64 {
+	vals := cellGrid(o, len(kinds), len(intervals), func(r, c int) float64 {
 		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[r],
 			Threads: o.threads(), Ops: ops, Interval: intervals[c], Seed: o.seed()}).Throughput()
 	})
@@ -546,7 +604,7 @@ func Fig8a(o Options) *report.Table {
 	structs := []ds.Structure{ds.Queue, ds.Stack}
 	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
 		locks.FFWD, locks.FFWDPilot}
-	vals := runner.Grid(o.Pool, len(structs), len(kinds), func(r, c int) float64 {
+	vals := cellGrid(o, len(structs), len(kinds), func(r, c int) float64 {
 		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[c], Struct: structs[r],
 			Threads: o.threads(), Rounds: rounds, Seed: o.seed()}).Throughput()
 	})
@@ -575,7 +633,7 @@ func Fig8b(o Options) *report.Table {
 	t := report.New("Figure 8b: sorted linked list vs preload (10^6 ops/s)", cols...)
 	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
 		locks.FFWD, locks.FFWDPilot}
-	vals := runner.Grid(o.Pool, len(kinds), len(preloads), func(r, c int) float64 {
+	vals := cellGrid(o, len(kinds), len(preloads), func(r, c int) float64 {
 		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[r], Struct: ds.List,
 			Threads: o.threads() / 2, Rounds: rounds, Preload: preloads[c], Seed: o.seed()}).Throughput()
 	})
@@ -604,7 +662,7 @@ func Fig8c(o Options) *report.Table {
 	t := report.New("Figure 8c: hash table vs buckets (10^6 ops/s)", cols...)
 	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot,
 		locks.FFWD, locks.FFWDPilot}
-	vals := runner.Grid(o.Pool, len(kinds), len(buckets), func(r, c int) float64 {
+	vals := cellGrid(o, len(kinds), len(buckets), func(r, c int) float64 {
 		return ds.Run(ds.Config{Plat: platform.Kunpeng916(), Kind: kinds[r], Struct: ds.HashTable,
 			Threads: o.threads() / 2, Rounds: rounds, Preload: 512, Buckets: buckets[c],
 			Seed: o.seed()}).Throughput()
@@ -634,7 +692,7 @@ func InPlaceLocks(o Options) *report.Table {
 	t := report.New("Extension: lock families vs contention (10^6 CS/s, Kunpeng916)", cols...)
 	kinds := []locks.Kind{locks.TAS, locks.Ticket, locks.MCS, locks.CLH,
 		locks.FC, locks.FCPilot, locks.DSMSynch, locks.DSMSynchPilot}
-	vals := runner.Grid(o.Pool, len(kinds), len(intervals), func(r, c int) float64 {
+	vals := cellGrid(o, len(kinds), len(intervals), func(r, c int) float64 {
 		return locks.Bench(locks.BenchConfig{Plat: platform.Kunpeng916(), Kind: kinds[r],
 			Threads: o.threads(), Ops: ops, Interval: intervals[c], Seed: o.seed()}).Throughput()
 	})
@@ -660,7 +718,7 @@ func TSOPorting(o Options) *report.Table {
 	best := pc.Combo{Avail: isa.DMBLd, Publish: isa.DMBSt}
 	bindings := pcBindings()
 	// Columns: 0 = TSO no barriers, 1 = WMM best combo, 2 = WMM Pilot.
-	vals := runner.Grid(o.Pool, len(bindings), 3, func(r, c int) float64 {
+	vals := cellGrid(o, len(bindings), 3, func(r, c int) float64 {
 		b := bindings[r]
 		cfg := pc.Config{Plat: b.Plat, Producer: b.Prod, Consumer: b.Cons,
 			Messages: msgs, Seed: o.seed()}
@@ -693,7 +751,7 @@ func MPMCFanIn(o Options) *report.Table {
 		"Producers", "Locked ring", "Pilot fan-in", "speedup")
 	producers := trim(o, []int{2, 4, 8, 16})
 	modes := []pc.MPMCMode{pc.LockedRing, pc.PilotFanIn}
-	vals := runner.Grid(o.Pool, len(producers), len(modes), func(r, c int) float64 {
+	vals := cellGrid(o, len(producers), len(modes), func(r, c int) float64 {
 		return pc.RunMPMC(pc.MPMCConfig{Plat: platform.Kunpeng916(), Producers: producers[r],
 			Messages: msgs, Mode: modes[c], Seed: o.seed()}).Throughput()
 	})
@@ -724,7 +782,7 @@ func SeqlockVsPilot(o Options) *report.Table {
 	words := trim(o, []int{1, 4, 8})
 	nW := len(words)
 	modes := []pc.PubMode{pc.Seqlock, pc.PilotBatch}
-	vals := runner.Grid(o.Pool, len(bindings)*nW, len(modes), func(r, c int) float64 {
+	vals := cellGrid(o, len(bindings)*nW, len(modes), func(r, c int) float64 {
 		b := bindings[r/nW]
 		return pc.RunPub(pc.PubConfig{Plat: platform.Kunpeng916(), Writer: b.writer,
 			Reader: b.reader, Mode: modes[c], Words: words[r%nW], Updates: updates,
@@ -756,30 +814,32 @@ func A64CrossCheck(o Options) *report.Table {
 		{Barrier: isa.DSBFull, Loc: absmodel.Loc1},
 		{Barrier: isa.STLR},
 	}
+	// Exported fields (and the error flattened to its string) so cell
+	// results round-trip through the gob-encoded result cache.
 	type outcome struct {
-		thr float64
-		err error
+		Thr float64
+		Err string
 	}
 	// Columns: 0 = Go closure, 1 = a64 assembly.
-	vals := runner.Grid(o.Pool, len(variants), 2, func(r, c int) outcome {
+	vals := cellGrid(o, len(variants), 2, func(r, c int) outcome {
 		cfg := absmodel.Config{Plat: p, Cores: cores, Pattern: absmodel.TwoStores,
 			Variant: variants[r], Nops: 60, Iters: iters, Seed: o.seed()}
 		if c == 0 {
-			return outcome{thr: absmodel.Run(cfg).Throughput()}
+			return outcome{Thr: absmodel.Run(cfg).Throughput()}
 		}
 		res, err := absmodel.RunA64(cfg)
 		if err != nil {
-			return outcome{err: err}
+			return outcome{Err: err.Error()}
 		}
-		return outcome{thr: res.Throughput()}
+		return outcome{Thr: res.Throughput()}
 	})
 	for vi, v := range variants {
-		cl, asm := vals[vi][0].thr, vals[vi][1]
-		if asm.err != nil {
-			t.Row(v.Name(), cl/1e6, "error", asm.err.Error())
+		cl, asm := vals[vi][0].Thr, vals[vi][1]
+		if asm.Err != "" {
+			t.Row(v.Name(), cl/1e6, "error", asm.Err)
 			continue
 		}
-		t.Row(v.Name(), cl/1e6, asm.thr/1e6, fmt.Sprintf("%.2f", asm.thr/cl))
+		t.Row(v.Name(), cl/1e6, asm.Thr/1e6, fmt.Sprintf("%.2f", asm.Thr/cl))
 	}
 	t.Note = "the a64 path executes mov/add/cmp per loop that the closure charges as plain nops; ratios near 1 validate both encodings"
 	return t
@@ -794,9 +854,16 @@ func Fig8d(o Options) *report.Table {
 		inputs = inputs[:1]
 	}
 	kinds := []locks.Kind{locks.Ticket, locks.DSMSynch, locks.DSMSynchPilot}
-	vals := runner.Grid(o.Pool, len(inputs), len(kinds), func(r, c int) floorplan.Result {
-		return floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
+	// The table only consumes cycles and validity, so the cell value is
+	// that pair rather than the full (cache-unfriendly) floorplan.Result.
+	type fpCell struct {
+		Cycles float64
+		Valid  bool
+	}
+	vals := cellGrid(o, len(inputs), len(kinds), func(r, c int) fpCell {
+		res := floorplan.Run(floorplan.Config{Plat: platform.Kunpeng916(),
 			Kind: kinds[c], In: inputs[r], Threads: 8, Seed: o.seed()})
+		return fpCell{Cycles: res.Cycles, Valid: res.Valid}
 	})
 	for ii, in := range inputs {
 		tick, dsy, dsp := vals[ii][0], vals[ii][1], vals[ii][2]

@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"armbar/internal/cellcache"
 	"armbar/internal/figures"
 )
 
@@ -46,5 +47,48 @@ func TestQuickOutputDigest(t *testing.T) {
 	if got != want {
 		t.Fatalf("quick-mode output drifted from the golden digest\n got %s\nwant %s\n(%d experiments, %d bytes rendered; see the comment above the digests before regenerating)",
 			got, want, len(names), len(out))
+	}
+}
+
+// TestWarmCacheOutputIdentical is the result cache's golden
+// cross-check: regenerating the fast subset cold (fresh cache
+// directory), then warm (every cell replayed from disk), then with the
+// cache off must produce byte-identical output at more than one seed —
+// and at the canonical seed the cached digest must still be the golden
+// one, so caching provably changes wall time only.
+func TestWarmCacheOutputIdentical(t *testing.T) {
+	digest := func(s string) string {
+		sum := sha256.Sum256([]byte(s))
+		return hex.EncodeToString(sum[:])
+	}
+	for _, seed := range []int64{42, 7} {
+		c := cellcache.Open(t.TempDir())
+		o := figures.Options{Quick: true, Seed: seed, Cache: c}
+		cold := render(o, fastSubset)
+		hitsCold, _ := c.Counts()
+		warm := render(o, fastSubset)
+		hitsWarm, _ := c.Counts()
+		c.Close()
+		if warm != cold {
+			t.Fatalf("seed %d: warm-cache output differs from cold (%d vs %d bytes)",
+				seed, len(warm), len(cold))
+		}
+		if hitsWarm == hitsCold {
+			t.Fatalf("seed %d: warm run never hit the cache — every cell recomputed", seed)
+		}
+		// Cache off: seed 42's uncached render is already pinned by
+		// goldenFastDigest, so compare against the constant instead of
+		// paying a third full regeneration; other seeds render it.
+		if seed == 42 {
+			if got := digest(cold); got != goldenFastDigest {
+				t.Fatalf("seed 42: cached output drifted from the golden digest\n got %s\nwant %s",
+					got, goldenFastDigest)
+			}
+		} else {
+			off := render(figures.Options{Quick: true, Seed: seed}, fastSubset)
+			if off != cold {
+				t.Fatalf("seed %d: -cache=off output differs from the cached run", seed)
+			}
+		}
 	}
 }

@@ -16,6 +16,15 @@ type ExperimentRun struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	OutputBytes int     `json:"output_bytes"` // rendered CSV bytes, format-independent
 	Cells       int     `json:"cells"`        // simulation cells run through the pool (0 when inline)
+	CacheHits   int     `json:"cache_hits,omitempty"`   // cells served from the result cache
+	CacheMisses int     `json:"cache_misses,omitempty"` // cells simulated (and then stored)
+}
+
+// cellCacheCounts is the slice of the cache the instrumentation needs:
+// lifetime hit/miss totals whose deltas attribute cache behavior to
+// one experiment (internal/cellcache implements it).
+type cellCacheCounts interface {
+	Counts() (hits, misses uint64)
 }
 
 // RunInstrumented generates exp and measures it: wall time, rendered
@@ -25,6 +34,12 @@ type ExperimentRun struct {
 // only fills the returned record. The generated tables are returned
 // unchanged — instrumentation never alters experiment output.
 func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*report.Table, ExperimentRun) {
+	o = o.Scoped(exp.Name)
+	var hits0, misses0 uint64
+	counts, hasCache := o.Cache.(cellCacheCounts)
+	if hasCache {
+		hits0, misses0 = counts.Counts()
+	}
 	cellsBefore := o.Pool.TasksDone()
 	start := time.Now() //armvet:ignore determvet — wall-time measurement lands in the manifest, never in tables
 	tables := exp.Gen(o)
@@ -33,6 +48,11 @@ func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*repor
 		Tables:      len(tables),
 		WallSeconds: time.Since(start).Seconds(), //armvet:ignore determvet — manifest-only wall time
 		Cells:       int(o.Pool.TasksDone() - cellsBefore),
+	}
+	if hasCache {
+		hits1, misses1 := counts.Counts()
+		run.CacheHits = int(hits1 - hits0)
+		run.CacheMisses = int(misses1 - misses0)
 	}
 	for _, t := range tables {
 		run.OutputBytes += len(t.CSV())

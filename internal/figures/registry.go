@@ -49,9 +49,28 @@ var registry = []Experiment{
 	{"tso", 1, one(TSOPorting)},
 	{"seqlock", 1, one(SeqlockVsPilot)},
 	{"a64", 1, one(A64CrossCheck)},
-	{"ablation", 5, func(o Options) []*report.Table {
-		return ablation.All(ablation.Options{Quick: o.Quick, Seed: o.Seed})
-	}},
+	{"ablation", 5, ablationTables},
+}
+
+// ablationTables fans the five ablation sweeps out as independent
+// whole-table cells — each sweep travels as a report.Wire (exported
+// fields, so it gob-encodes), making the sweeps cached and
+// parallelized like any other cell — in ablation.All's order.
+func ablationTables(o Options) []*report.Table {
+	gens := []func(ablation.Options) *report.Table{
+		ablation.AnomalyVsJitter,
+		ablation.AnomalyVsInvalidationDelay,
+		ablation.TippingVsMissLatency,
+		ablation.PilotGainVsStoreBuffer,
+		ablation.BarrierCostVsSyncTxn,
+	}
+	ao := ablation.Options{Quick: o.Quick, Seed: o.Seed}
+	wires := cellMap(o, len(gens), func(i int) report.Wire { return gens[i](ao).Wire() })
+	out := make([]*report.Table, len(wires))
+	for i, w := range wires {
+		out[i] = report.FromWire(w)
+	}
+	return out
 }
 
 // Registry returns the canonical experiment list in presentation

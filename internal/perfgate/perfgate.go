@@ -24,13 +24,20 @@ type Bench struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Snapshot is the committed BENCH_sim.json document.
+// Snapshot is the committed BENCH_sim.json document. The wall-time
+// pair records the result-cache speedup measured when the snapshot was
+// taken (scripts/bench_snapshot.sh times `-quick all` cold, then warm
+// from the cache it just filled); they are context for reviewers, not
+// gated — machine load moves whole-run wall time too much for a
+// ratio gate to stay quiet.
 type Snapshot struct {
-	Date       string  `json:"date"`
-	Go         string  `json:"go"`
-	CPU        string  `json:"cpu"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Benchmarks []Bench `json:"benchmarks"`
+	Date            string  `json:"date"`
+	Go              string  `json:"go"`
+	CPU             string  `json:"cpu"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	ColdWallSeconds float64 `json:"cold_wall_seconds,omitempty"`
+	WarmWallSeconds float64 `json:"warm_wall_seconds,omitempty"`
+	Benchmarks      []Bench `json:"benchmarks"`
 }
 
 // Load reads and validates a snapshot file.

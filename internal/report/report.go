@@ -45,6 +45,25 @@ func (t *Table) Rows() int { return len(t.rows) }
 // Cell returns the formatted cell at (row, col).
 func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
 
+// Wire is a Table with every field exported: the cells are already
+// formatted strings, so a Wire round trip reproduces every rendering
+// (String, CSV, Markdown) byte for byte. Plain exported data — no
+// GobEncoder machinery — is what lets whole tables travel as cell
+// values through the runner's gob-encoded result cache.
+type Wire struct {
+	Title, Note string
+	Cols        []string
+	Rows        [][]string
+}
+
+// Wire exports the table's full contents.
+func (t *Table) Wire() Wire { return Wire{t.Title, t.Note, t.cols, t.rows} }
+
+// FromWire rebuilds a table from its exported form.
+func FromWire(w Wire) *Table {
+	return &Table{Title: w.Title, Note: w.Note, cols: w.Cols, rows: w.Rows}
+}
+
 func formatFloat(v float64) string {
 	switch {
 	case v == 0:

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 )
@@ -92,5 +94,28 @@ func TestMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(md, "*a note*") {
 		t.Errorf("note wrong:\n%s", md)
+	}
+}
+
+// TestWireRoundTrip pins the property the result cache relies on: a
+// Table rebuilt from its Wire form (optionally through gob, as the
+// runner's cell codec does) renders byte-identically in every format.
+func TestWireRoundTrip(t *testing.T) {
+	orig := sample()
+	direct := FromWire(orig.Wire())
+	if direct.String() != orig.String() || direct.CSV() != orig.CSV() || direct.Markdown() != orig.Markdown() {
+		t.Fatal("Wire round trip changed a rendering")
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig.Wire()); err != nil {
+		t.Fatalf("Wire must gob-encode: %v", err)
+	}
+	var w Wire
+	if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	if got := FromWire(w); got.CSV() != orig.CSV() || got.String() != orig.String() {
+		t.Fatal("gob round trip changed a rendering")
 	}
 }

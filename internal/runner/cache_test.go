@@ -1,0 +1,211 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// memCache is a test double for internal/cellcache: the same
+// first-write-wins contract, plus call accounting.
+type memCache struct {
+	m          map[string][]byte
+	gets, puts int
+}
+
+func newMemCache() *memCache { return &memCache{m: map[string][]byte{}} }
+
+func (c *memCache) key(scope string, idx int) string { return fmt.Sprintf("%s/%d", scope, idx) }
+
+func (c *memCache) Get(scope string, idx int) ([]byte, bool) {
+	c.gets++
+	data, ok := c.m[c.key(scope, idx)]
+	return data, ok
+}
+
+func (c *memCache) Put(scope string, idx int, data []byte) {
+	c.puts++
+	k := c.key(scope, idx)
+	if _, dup := c.m[k]; dup {
+		return
+	}
+	c.m[k] = append([]byte(nil), data...)
+}
+
+type cellVal struct {
+	Idx int
+	Sq  float64
+}
+
+func TestMapCachedWarmRunSkipsComputation(t *testing.T) {
+	cc := newMemCache()
+	calls := 0
+	fn := func(i int) cellVal {
+		calls++
+		return cellVal{Idx: i, Sq: float64(i * i)}
+	}
+	cold := MapCached(nil, cc, "exp#0", 8, fn)
+	if calls != 8 {
+		t.Fatalf("cold run computed %d cells, want 8", calls)
+	}
+	warm := MapCached(nil, cc, "exp#0", 8, func(i int) cellVal {
+		t.Fatalf("warm run must not compute cell %d", i)
+		return cellVal{}
+	})
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm results differ:\n cold %v\n warm %v", cold, warm)
+	}
+	plain := Map(nil, 8, fn)
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatalf("cached results differ from plain Map:\n cached %v\n plain %v", cold, plain)
+	}
+}
+
+func TestMapCachedScopesAreDisjoint(t *testing.T) {
+	cc := newMemCache()
+	MapCached(nil, cc, "exp#0", 2, func(i int) int { return i })
+	got := MapCached(nil, cc, "exp#1", 2, func(i int) int { return 100 + i })
+	if got[0] != 100 || got[1] != 101 {
+		t.Fatalf("scope collision: exp#1 served exp#0's cells: %v", got)
+	}
+}
+
+// TestMapCachedPanicDoesNotPoisonCache is the worker-panic regression:
+// a panicking cell must surface as a miss — nothing stored for it, nor
+// for any cell after the failure point — so a retried run recomputes
+// and produces correct, cacheable results.
+func TestMapCachedPanicDoesNotPoisonCache(t *testing.T) {
+	cc := newMemCache()
+	attempt := 0
+	fn := func(i int) cellVal {
+		if i == 3 && attempt == 0 {
+			panic("injected cell failure")
+		}
+		return cellVal{Idx: i, Sq: float64(i * i)}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MapCached must re-raise a cell panic")
+			}
+		}()
+		MapCached(nil, cc, "exp#0", 6, fn)
+	}()
+	for i := 3; i < 6; i++ {
+		if _, ok := cc.Get("exp#0", i); ok {
+			t.Fatalf("failed run stored cell %d at/after the panic point", i)
+		}
+	}
+
+	// Retry: the previously panicking cell computes this time; results
+	// are correct and the cache ends fully (and correctly) populated.
+	attempt++
+	got := MapCached(nil, cc, "exp#0", 6, fn)
+	for i, v := range got {
+		if v.Idx != i || v.Sq != float64(i*i) {
+			t.Fatalf("retry produced wrong cell %d: %+v", i, v)
+		}
+	}
+	warm := MapCached(nil, cc, "exp#0", 6, func(i int) cellVal {
+		t.Fatalf("cell %d not cached after the successful retry", i)
+		return cellVal{}
+	})
+	if !reflect.DeepEqual(got, warm) {
+		t.Fatalf("post-retry warm run differs: %v vs %v", got, warm)
+	}
+}
+
+func TestMapCachedUndecodableEntryIsAMiss(t *testing.T) {
+	cc := newMemCache()
+	for i := 0; i < 4; i++ {
+		cc.m[cc.key("exp#0", i)] = []byte("not gob")
+	}
+	calls := 0
+	got := MapCached(nil, cc, "exp#0", 4, func(i int) cellVal {
+		calls++
+		return cellVal{Idx: i}
+	})
+	if calls != 4 {
+		t.Fatalf("corrupt entries must recompute: %d/4 cells ran", calls)
+	}
+	for i, v := range got {
+		if v.Idx != i {
+			t.Fatalf("cell %d wrong after recompute: %+v", i, v)
+		}
+	}
+}
+
+// TestMapCachedUnencodableValueOptsOut: a cell type gob cannot encode
+// (no exported fields) is returned normally but never stored — the
+// cache silently degrades to recomputation for that generator.
+func TestMapCachedUnencodableValueOptsOut(t *testing.T) {
+	type opaque struct{ hidden int }
+	cc := newMemCache()
+	calls := 0
+	fn := func(i int) opaque { calls++; return opaque{hidden: i} }
+	got := MapCached(nil, cc, "exp#0", 3, fn)
+	for i, v := range got {
+		if v.hidden != i {
+			t.Fatalf("cell %d wrong: %+v", i, v)
+		}
+	}
+	if len(cc.m) != 0 {
+		t.Fatalf("unencodable values must not be stored, cache has %d entries", len(cc.m))
+	}
+	MapCached(nil, cc, "exp#0", 3, fn)
+	if calls != 6 {
+		t.Fatalf("second run must recompute all 3 cells, total calls %d", calls)
+	}
+}
+
+func TestGridCachedShapeAndWarmEquality(t *testing.T) {
+	cc := newMemCache()
+	fn := func(r, c int) int { return 10*r + c }
+	cold := GridCached(nil, cc, "grid#0", 3, 4, fn)
+	if len(cold) != 3 || len(cold[0]) != 4 {
+		t.Fatalf("grid shape %dx%d, want 3x4", len(cold), len(cold[0]))
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if cold[r][c] != 10*r+c {
+				t.Fatalf("cell (%d,%d) = %d", r, c, cold[r][c])
+			}
+		}
+	}
+	warm := GridCached(nil, cc, "grid#0", 3, 4, func(r, c int) int {
+		t.Fatalf("warm grid must not compute (%d,%d)", r, c)
+		return 0
+	})
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm grid differs: %v vs %v", warm, cold)
+	}
+	if !reflect.DeepEqual(cold, Grid(nil, 3, 4, fn)) {
+		t.Fatal("cached grid differs from plain Grid")
+	}
+}
+
+// TestMapCachedWithPoolWarm exercises the cached path through a real
+// worker pool: hits must not consume pool capacity, and a mixed
+// hit/miss run merges in canonical order.
+func TestMapCachedWithPoolWarm(t *testing.T) {
+	cc := newMemCache()
+	p := New(4)
+	defer p.Close()
+	cold := MapCached(p, cc, "exp#0", 16, func(i int) cellVal {
+		return cellVal{Idx: i, Sq: float64(i * i)}
+	})
+	done := p.TasksDone()
+	if done != 16 {
+		t.Fatalf("cold run used %d pool cells, want 16", done)
+	}
+	warm := MapCached(p, cc, "exp#0", 16, func(i int) cellVal {
+		t.Fatalf("warm run must not compute cell %d", i)
+		return cellVal{}
+	})
+	if p.TasksDone() != done {
+		t.Fatal("warm hits must not consume pool cells")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm pool run differs from cold")
+	}
+}

@@ -11,12 +11,29 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_sim.json
 
-raw=$(go test -run '^$' -bench 'Rendezvous|StoreCommit|StoreDMB' -benchmem ./internal/sim)
+raw=$(go test -run '^$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit' -benchmem \
+	./internal/sim ./internal/cellcache)
+
+# Result-cache context: time `-quick all` cold (fresh cache dir) and
+# warm (same dir, every cell replayed from disk). Recorded in the
+# snapshot for reviewers — perfcheck prints but does not gate it.
+bin=$(mktemp -d)/armbar
+cachedir=$(mktemp -d)
+trap 'rm -rf "$(dirname "$bin")" "$cachedir"' EXIT
+go build -o "$bin" ./cmd/armbar
+cold0=$(date +%s.%N)
+"$bin" -quick -times=false -cache-dir "$cachedir" all > /dev/null
+cold1=$(date +%s.%N)
+"$bin" -quick -times=false -cache-dir "$cachedir" all > /dev/null
+warm1=$(date +%s.%N)
+cold=$(awk -v a="$cold0" -v b="$cold1" 'BEGIN { printf "%.2f", b - a }')
+warm=$(awk -v a="$cold1" -v b="$warm1" 'BEGIN { printf "%.2f", b - a }')
 
 printf '%s\n' "$raw" | awk \
     -v goversion="$(go env GOVERSION)" \
     -v maxprocs="${GOMAXPROCS:-$(nproc)}" \
-    -v date="$(date -u +%Y-%m-%d)" '
+    -v date="$(date -u +%Y-%m-%d)" \
+    -v cold="$cold" -v warm="$warm" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -31,6 +48,8 @@ END {
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"gomaxprocs\": %s,\n", maxprocs
+    printf "  \"cold_wall_seconds\": %s,\n", cold
+    printf "  \"warm_wall_seconds\": %s,\n", warm
     print "  \"benchmarks\": ["
     for (i = 1; i <= n; i++) printf "%s%s\n", benches[i], (i < n ? "," : "")
     print "  ]"

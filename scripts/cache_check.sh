@@ -1,0 +1,47 @@
+#!/bin/sh
+# Result-cache equivalence gate, run by `make verify` (cachecheck):
+# regenerate the determinism fast subset three ways — cold (fresh
+# temp cache dir), warm (same dir, every cell replayed from disk),
+# and -cache=off — and require all three outputs byte-identical.
+# Everything happens in temp dirs, so the gate never touches (or is
+# contaminated by) a developer's .armbar-cache/. Extra arguments
+# replace the experiment list, e.g.
+#
+#   scripts/cache_check.sh table1 fig4
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Keep in sync with fastSubset in internal/figures/determinism_test.go.
+if [ "$#" -eq 0 ]; then
+	set -- table1 table3 fig4 fig5 fig6d fig7b fig8a fig8d seqlock a64
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+bin="$work/armbar"
+go build -o "$bin" ./cmd/armbar
+
+t0=$(date +%s.%N)
+"$bin" -quick -csv -times=false -cache-dir "$work/cache" "$@" > "$work/cold.csv"
+t1=$(date +%s.%N)
+"$bin" -quick -csv -times=false -cache-dir "$work/cache" "$@" > "$work/warm.csv"
+t2=$(date +%s.%N)
+"$bin" -quick -csv -times=false -cache=off "$@" > "$work/off.csv"
+
+if ! cmp -s "$work/cold.csv" "$work/warm.csv"; then
+	echo "cachecheck: FAIL — warm-cache output differs from the cold run" >&2
+	diff "$work/cold.csv" "$work/warm.csv" | head -20 >&2 || true
+	exit 1
+fi
+if ! cmp -s "$work/cold.csv" "$work/off.csv"; then
+	echo "cachecheck: FAIL — -cache=off output differs from the cached run" >&2
+	diff "$work/cold.csv" "$work/off.csv" | head -20 >&2 || true
+	exit 1
+fi
+
+awk -v a="$t0" -v b="$t1" -v c="$t2" 'BEGIN {
+	cold = b - a; warm = c - b
+	printf "cachecheck: OK — cold %.2fs, warm %.2fs (%.0f%% of cold), -cache=off identical\n",
+		cold, warm, (cold > 0 ? 100 * warm / cold : 0)
+}'
