@@ -52,6 +52,9 @@ var (
 		"worker count for experiment cells (1 = sequential, 0 = GOMAXPROCS)")
 	times = flag.Bool("times", true, "report per-experiment wall time on stderr")
 
+	engineName = flag.String("engine", "compiled",
+		"simulation engine: compiled (precompiled micro-op programs, the default) or interp (original closure bodies); outputs are byte-identical")
+
 	metricsOut  = flag.String("metrics", "", "write run metrics as JSON to this file (\"-\" = stdout, after the tables)")
 	metricsProm = flag.Bool("metrics-prom", false, "write -metrics output in Prometheus text format instead of JSON")
 	traceOut    = flag.String("trace-out", "", "write a merged Chrome/Perfetto trace of the simulated machines to this file")
@@ -104,6 +107,7 @@ type manifest struct {
 	Seed        int64                   `json:"seed"`
 	Quick       bool                    `json:"quick"`
 	Par         int                     `json:"par"`
+	Engine      string                  `json:"engine"`
 	Args        []string                `json:"args"`
 	WallSeconds float64                 `json:"wall_seconds"`
 	Experiments []figures.ExperimentRun `json:"experiments"`
@@ -154,9 +158,14 @@ func main() {
 		os.Exit(cacheMain(os.Args[2:]))
 	}
 	flag.Parse()
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fail("%v", err)
+	}
+	sim.SetDefaultEngine(engine)
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] [-cache=off] <experiment> [...]\n")
+		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] [-engine compiled|interp] [-cache=off] <experiment> [...]\n")
 		fmt.Fprintf(os.Stderr, "       armbar perfcheck [-snapshot BENCH_sim.json]\n")
 		fmt.Fprintf(os.Stderr, "       armbar cache [stats|gc|clear] [-dir .armbar-cache]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(figures.Names(), " "))
@@ -244,6 +253,7 @@ func main() {
 		Seed:        *seed,
 		Quick:       *quick,
 		Par:         *par,
+		Engine:      engine.String(),
 		Args:        requested,
 		MetricsFile: *metricsOut,
 		TraceFile:   *traceOut,

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"armbar/internal/scenario"
+	"armbar/internal/sim"
 	"armbar/internal/trace"
 )
 
@@ -57,14 +58,21 @@ const exampleSpec = `{
 func main() {
 	traceOut := flag.String("trace", "", "write a Chrome-trace JSON of the run")
 	example := flag.Bool("example", false, "print an example scenario and exit")
+	engineName := flag.String("engine", "compiled",
+		"simulation engine: compiled or interp (byte-identical results)")
 	flag.Parse()
 
 	if *example {
 		fmt.Println(exampleSpec)
 		return
 	}
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
+	sim.SetDefaultEngine(engine)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: armsim [-trace out.json] scenario.json")
+		fmt.Fprintln(os.Stderr, "usage: armsim [-trace out.json] [-engine compiled|interp] scenario.json")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))

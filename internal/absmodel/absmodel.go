@@ -15,6 +15,7 @@ import (
 
 	"armbar/internal/isa"
 	"armbar/internal/platform"
+	"armbar/internal/prog"
 	"armbar/internal/sim"
 	"armbar/internal/topo"
 )
@@ -91,6 +92,10 @@ type Config struct {
 	Iters   int // loop iterations per thread
 	Lines   int // working-set lines per operand array (default 16)
 	Seed    int64
+	// Engine selects the execution engine; the zero value resolves to
+	// the process-wide default (compiled). Both engines produce
+	// identical results — see TestEnginesAgree.
+	Engine sim.Engine
 }
 
 // Result is the outcome of one model run.
@@ -121,10 +126,19 @@ func Run(cfg Config) Result {
 	m := sim.New(sim.Config{Plat: cfg.Plat, Mode: sim.WMM, Seed: cfg.Seed})
 	arrA := m.Alloc(cfg.Lines)
 	arrB := m.Alloc(cfg.Lines)
-	for i := 0; i < 2; i++ {
-		m.Spawn(cfg.Cores[i], func(t *sim.Thread) {
-			body(t, cfg, arrA, arrB)
-		})
+	if cfg.Engine.Resolve() == sim.EngineCompiled {
+		// Both threads execute the same op sequence over the same
+		// operand arrays: one program, two executors.
+		p := compile(cfg, arrA, arrB)
+		for i := 0; i < 2; i++ {
+			m.SpawnProgram(cfg.Cores[i], p)
+		}
+	} else {
+		for i := 0; i < 2; i++ {
+			m.Spawn(cfg.Cores[i], func(t *sim.Thread) {
+				body(t, cfg, arrA, arrB)
+			})
+		}
 	}
 	cycles := m.Run()
 	return Result{
@@ -191,6 +205,76 @@ func body(t *sim.Thread, cfg Config, arrA, arrB uint64) {
 		// Loop bookkeeping (lines 9-10): add + cmp.
 		t.Nops(2)
 	}
+}
+
+// compile lowers Algorithm 1 to a micro-op program: the iteration's
+// line offsets become address rings indexed by the loop counter, the
+// stored iteration index becomes a counter value, and nop padding
+// becomes pre-scaled work cycles. The op sequence matches body() op
+// for op — the differential tests compare the two engines exactly.
+func compile(cfg Config, arrA, arrB uint64) *prog.Program {
+	v := cfg.Variant
+	b := prog.NewBuilder(cfg.Plat.Cost.IssueWidth)
+	ringA := make([]uint64, cfg.Lines)
+	ringB := make([]uint64, cfg.Lines)
+	for k := 0; k < cfg.Lines; k++ {
+		ringA[k] = arrA + uint64(k)*64
+		ringB[k] = arrB + uint64(k)*64
+	}
+	tabA := b.Table(ringA)
+	tabB := b.Table(ringB)
+
+	i := b.Loop(cfg.Iters)
+	a, bb := prog.Ring(tabA, i), prog.Ring(tabB, i)
+
+	// add x0/x1 (address bumps): two trivial ALU ops.
+	b.Nops(2)
+
+	// First memory operation (line 4 of Algorithm 1).
+	switch cfg.Pattern {
+	case TwoStores:
+		b.Store(a, prog.Counter(i))
+	case LoadStore, LoadLoad:
+		switch v.Barrier {
+		case isa.LDAR:
+			b.LoadAcquire(a)
+		case isa.LDAPR:
+			b.LoadAcquirePC(a)
+		default:
+			b.Load(a)
+		}
+	}
+
+	// BARRIER_LOC_1 (line 5) — dependencies attach to the access, so
+	// they execute here too.
+	if at1 := v.Loc == Loc1 || v.Barrier.IsDependency(); at1 && standalone(v.Barrier) {
+		b.Barrier(v.Barrier)
+	}
+
+	// NOPs (line 6).
+	b.Nops(cfg.Nops)
+
+	// BARRIER_LOC_2 (line 7).
+	if v.Loc == Loc2 && standalone(v.Barrier) {
+		b.Barrier(v.Barrier)
+	}
+
+	// Second memory operation (line 8).
+	switch cfg.Pattern {
+	case TwoStores, LoadStore:
+		if v.Barrier == isa.STLR {
+			b.StoreRelease(bb, prog.Counter(i))
+		} else {
+			b.Store(bb, prog.Counter(i))
+		}
+	case LoadLoad:
+		b.Load(bb)
+	}
+
+	// Loop bookkeeping (lines 9-10): add + cmp.
+	b.Nops(2)
+	b.EndLoop()
+	return b.MustBuild()
 }
 
 // standalone reports whether the barrier is inserted as its own

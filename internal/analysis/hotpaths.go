@@ -13,6 +13,7 @@ package analysis
 // pass and for the //armvet:ignore placement rules.
 var DeterministicPackages = map[string]bool{
 	"armbar/internal/sim":       true,
+	"armbar/internal/prog":      true,
 	"armbar/internal/figures":   true,
 	"armbar/internal/report":    true,
 	"armbar/internal/runner":    true,
@@ -77,6 +78,33 @@ var HotPathFuncs = map[string]bool{
 	"armbar/internal/sim.Machine.recycle":      true,
 	"armbar/internal/sim.Machine.invProc":      true,
 	"armbar/internal/sim.Machine.emit":         true,
+
+	// Compiled-engine dispatch loop (internal/sim/compiled.go).
+	// BenchmarkCompiledDispatch pins the whole program-execution path
+	// at 0 allocs/op.
+	"armbar/internal/sim.Thread.exec":          true,
+	"armbar/internal/sim.Machine.execSolo":     true,
+	"armbar/internal/sim.Machine.safeExecStep": true,
+	"armbar/internal/sim.Machine.execStep":     true,
+	"armbar/internal/sim.execEnv.addr":         true,
+	"armbar/internal/sim.execEnv.value":        true,
+	"armbar/internal/sim.execEnv.stepControl":  true,
+	"armbar/internal/sim.execEnv.done":         true,
+	"armbar/internal/sim.execLoad":             true,
+	"armbar/internal/sim.execLoadAcq":          true,
+	"armbar/internal/sim.execLoadAcqPC":        true,
+	"armbar/internal/sim.execStore":            true,
+	"armbar/internal/sim.execStoreRel":         true,
+	"armbar/internal/sim.execBarrier":          true,
+	"armbar/internal/sim.execWork":             true,
+	"armbar/internal/sim.execFetchAdd":         true,
+	"armbar/internal/sim.execSwap":             true,
+	"armbar/internal/sim.execCAS":              true,
+	"armbar/internal/sim.execRMW":              true,
+	"armbar/internal/sim.execSpinEQ":           true,
+	"armbar/internal/sim.execSpinNE":           true,
+	"armbar/internal/sim.storeStall":           true,
+	"armbar/internal/sim.rmwStall":             true,
 
 	// Event queue and last-store table (event.go, addrmap.go).
 	"armbar/internal/sim.eventHeap.len":  true,

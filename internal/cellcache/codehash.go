@@ -23,8 +23,8 @@ import (
 var simPackages = []string{
 	"a64", "ablation", "absmodel", "ace", "cellcache", "core", "dedup",
 	"ds", "figures", "floorplan", "isa", "litmus", "locks", "mesi",
-	"pc", "platform", "report", "runner", "sb", "scenario", "sim",
-	"topo",
+	"metrics", "pc", "platform", "prog", "report", "runner", "sb",
+	"scenario", "sim", "topo",
 }
 
 var (

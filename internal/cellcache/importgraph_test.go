@@ -1,0 +1,83 @@
+package cellcache
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSimPackagesCoverImportGraph guards the code-version key against
+// the failure mode the hand-maintained list invites: a new package
+// starts feeding experiment output (reachable from internal/figures)
+// but nobody adds it to simPackages, so edits to it keep serving stale
+// cached results. The test recomputes the reachable set from the
+// source tree and fails on any package the list is missing.
+func TestSimPackagesCoverImportGraph(t *testing.T) {
+	root, ok := findModuleRoot()
+	if !ok {
+		t.Fatal("module root not found")
+	}
+	reach := reachableFrom(t, root, "figures")
+	listed := map[string]bool{}
+	for _, p := range simPackages {
+		listed[p] = true
+	}
+	var missing []string
+	for pkg := range reach {
+		if !listed[pkg] {
+			missing = append(missing, pkg)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Fatalf("packages reachable from internal/figures but absent from simPackages: %v\n"+
+			"their edits would not invalidate cached experiment results — add them to the list in codehash.go",
+			missing)
+	}
+}
+
+// reachableFrom returns every internal package transitively imported
+// by internal/<start> (inclusive), by parsing the import clauses of
+// all non-test sources.
+func reachableFrom(t *testing.T, root, start string) map[string]bool {
+	t.Helper()
+	const prefix = "armbar/internal/"
+	reach := map[string]bool{start: true}
+	queue := []string{start}
+	fset := token.NewFileSet()
+	for len(queue) > 0 {
+		pkg := queue[0]
+		queue = queue[1:]
+		dir := filepath.Join(root, "internal", pkg)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading package %s: %v", pkg, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s/%s: %v", pkg, name, err)
+			}
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !strings.HasPrefix(path, prefix) {
+					continue
+				}
+				dep := strings.TrimPrefix(path, prefix)
+				if !reach[dep] {
+					reach[dep] = true
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	return reach
+}

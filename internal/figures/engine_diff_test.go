@@ -1,0 +1,38 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+
+	"armbar/internal/figures"
+	"armbar/internal/sim"
+)
+
+// TestEngineOutputIdentical is the workload-level differential proof
+// for the compiled engine: rendering the fast golden subset with the
+// interpreted engine must produce the same bytes as the compiled
+// default, at two seeds. The per-op differential in internal/sim
+// checks the executor against process(); this checks the compilers in
+// absmodel and scenario lower every experiment's op sequence
+// faithfully — ring addressing, barrier placement, loop trip counts,
+// rng draw order and all.
+func TestEngineOutputIdentical(t *testing.T) {
+	defer sim.SetDefaultEngine(sim.EngineDefault)
+	for _, seed := range []int64{42, 7} {
+		sim.SetDefaultEngine(sim.EngineCompiled)
+		compiled := render(figures.Options{Quick: true, Seed: seed}, fastSubset)
+		sim.SetDefaultEngine(sim.EngineInterp)
+		interp := render(figures.Options{Quick: true, Seed: seed}, fastSubset)
+		if compiled == interp {
+			continue
+		}
+		cl, il := strings.Split(compiled, "\n"), strings.Split(interp, "\n")
+		for i := range cl {
+			if i >= len(il) || cl[i] != il[i] {
+				t.Fatalf("seed %d: engines diverge at line %d:\n  compiled: %s\n  interp:   %s",
+					seed, i+1, cl[i], at(il, i))
+			}
+		}
+		t.Fatalf("seed %d: interp output has %d extra lines", seed, len(il)-len(cl))
+	}
+}

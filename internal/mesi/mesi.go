@@ -9,6 +9,15 @@
 // the request must travel the interconnect to another core. The
 // directory is purely mechanical: it answers "who has what, since
 // when"; timing policy lives in package sim.
+//
+// Storage is dense, not map-based: the simulator allocates addresses
+// sequentially (sim.Machine.Alloc hands out consecutive lines from
+// address 64), so line state lives in a slice indexed by line number
+// and committed values in a slice indexed by 8-byte word number. Every
+// store commit used to pay half a dozen runtime map lookups; now each
+// is one bounds-checked slice index. Per-line sharer state is a
+// compact slice of copies plus a per-core index, so commit-time
+// invalidation walks only the cores that actually hold the line.
 package mesi
 
 import (
@@ -26,7 +35,62 @@ func LineOf(addr uint64) uint64 { return addr >> LineShift }
 // NoCore marks the absence of an owner.
 const NoCore topo.CoreID = -1
 
-// Copy is one core's cached copy of a line.
+// staleWords is the inline capacity of a copy's stale snapshot: a line
+// holds eight 8-byte words, so eight aligned addresses cover any
+// realistic access pattern. Unaligned pathologies spill to a map.
+const staleWords = 8
+
+// staleSet records addr -> the value the address had when this copy
+// was invalidated (copy-on-write: only addresses overwritten after the
+// fetch appear). A tiny linear array beats a map: the set almost never
+// exceeds one or two entries between refetches.
+type staleSet struct {
+	n        int
+	addrs    [staleWords]uint64
+	vals     [staleWords]uint64
+	overflow map[uint64]uint64 // nil until >staleWords distinct addrs
+}
+
+func (s *staleSet) get(addr uint64) (uint64, bool) {
+	for i := 0; i < s.n; i++ {
+		if s.addrs[i] == addr {
+			return s.vals[i], true
+		}
+	}
+	if s.overflow != nil {
+		v, ok := s.overflow[addr]
+		return v, ok
+	}
+	return 0, false
+}
+
+// snapshot records old for addr unless the address is already
+// snapshotted (the stale view keeps the fetch-time value).
+func (s *staleSet) snapshot(addr, old uint64) {
+	if _, ok := s.get(addr); ok {
+		return
+	}
+	if s.n < staleWords {
+		s.addrs[s.n] = addr
+		s.vals[s.n] = old
+		s.n++
+		return
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[uint64]uint64) //armvet:ignore allocvet — >8 distinct sub-line addrs; unreachable from aligned workloads
+	}
+	s.overflow[addr] = old
+}
+
+func (s *staleSet) reset() {
+	s.n = 0
+	if s.overflow != nil {
+		clear(s.overflow)
+	}
+}
+
+// Copy is one core's cached copy of a line. Pointers returned by
+// CopyAt are valid until the next directory mutation.
 type Copy struct {
 	// FetchedAt is when the copy was installed.
 	FetchedAt float64
@@ -39,10 +103,9 @@ type Copy struct {
 	// ProcessAt is when the holding core processes the invalidation;
 	// stale reads are possible only before it.
 	ProcessAt float64
-	// stale maps addr -> the value the address had when this copy was
-	// invalidated (copy-on-write: only addresses overwritten after the
-	// fetch appear here).
-	stale map[uint64]uint64
+
+	core  topo.CoreID
+	stale staleSet
 }
 
 // Valid reports whether the copy has not been invalidated.
@@ -52,24 +115,32 @@ func (c *Copy) Valid() bool { return c.InvalidatedAt == 0 }
 // copy, and whether the address was snapshotted (false means the
 // committed value is still what the copy would observe).
 func (c *Copy) StaleValue(addr uint64) (uint64, bool) {
-	v, ok := c.stale[addr]
-	return v, ok
+	return c.stale.get(addr)
 }
 
-// Line is the directory entry for one cache line.
-type Line struct {
-	Owner   topo.CoreID // last writer, NoCore if never written
-	Version uint64      // bumped on every committed store
-	copies  map[topo.CoreID]*Copy
+// line is the directory entry for one cache line. copies is compact
+// (only cores that hold the line); slot maps core -> index+1 into
+// copies, 0 meaning no copy, so CopyAt is two slice indexes.
+type line struct {
+	owner   topo.CoreID
+	version uint64
+	slot    []int32 // nil until the line is first cached
+	copies  []Copy
+}
+
+// word is the committed state of one 8-byte memory word.
+type word struct {
+	val    uint64
+	prev   uint64  // value before the most recent commit
+	lastAt float64 // time of the most recent commit
 }
 
 // Directory tracks committed memory values and per-line sharing state.
 type Directory struct {
-	sys        *topo.System
-	lines      map[uint64]*Line
-	mem        map[uint64]uint64
-	prevMem    map[uint64]uint64
-	lastCommit map[uint64]float64
+	sys      *topo.System
+	numCores int
+	lines    []line // indexed by LineOf(addr)
+	words    []word // indexed by addr >> 3
 
 	// Stats
 	Fetches uint64
@@ -78,61 +149,123 @@ type Directory struct {
 
 // NewDirectory returns an empty directory over the given topology.
 func NewDirectory(sys *topo.System) *Directory {
-	return &Directory{
-		sys:        sys,
-		lines:      make(map[uint64]*Line),
-		mem:        make(map[uint64]uint64),
-		prevMem:    make(map[uint64]uint64),
-		lastCommit: make(map[uint64]float64),
+	return &Directory{sys: sys, numCores: sys.NumCores()}
+}
+
+func wordOf(addr uint64) uint64 { return addr >> 3 }
+
+// wordAt returns the committed word for addr, growing the dense store
+// on first touch. Addresses come from sequential allocation, so growth
+// amortizes to nothing.
+func (d *Directory) wordAt(addr uint64) *word {
+	w := wordOf(addr)
+	if w >= uint64(len(d.words)) {
+		d.growWords(w)
+	}
+	return &d.words[w]
+}
+
+func (d *Directory) growWords(w uint64) {
+	if w >= uint64(cap(d.words)) {
+		n := uint64(cap(d.words))
+		if n < 64 {
+			n = 64
+		}
+		for n <= w {
+			n *= 2
+		}
+		nw := make([]word, len(d.words), n) //armvet:ignore allocvet — amortized growth, once per address-space doubling
+		copy(nw, d.words)
+		d.words = nw
+	}
+	d.words = d.words[:w+1]
+}
+
+// lineAt returns the directory entry for addr's line, growing the
+// dense store on first touch.
+func (d *Directory) lineAt(addr uint64) *line {
+	li := LineOf(addr)
+	if li >= uint64(len(d.lines)) {
+		d.growLines(li)
+	}
+	return &d.lines[li]
+}
+
+func (d *Directory) growLines(li uint64) {
+	if li >= uint64(cap(d.lines)) {
+		n := uint64(cap(d.lines))
+		if n < 16 {
+			n = 16
+		}
+		for n <= li {
+			n *= 2
+		}
+		nl := make([]line, len(d.lines), n) //armvet:ignore allocvet — amortized growth, once per address-space doubling
+		copy(nl, d.lines)
+		d.lines = nl
+	}
+	old := len(d.lines)
+	d.lines = d.lines[:li+1]
+	for i := old; i < len(d.lines); i++ {
+		d.lines[i].owner = NoCore
 	}
 }
 
 // Committed returns the globally committed value at addr.
-func (d *Directory) Committed(addr uint64) uint64 { return d.mem[addr] }
+func (d *Directory) Committed(addr uint64) uint64 {
+	if w := wordOf(addr); w < uint64(len(d.words)) {
+		return d.words[w].val
+	}
+	return 0
+}
 
 // SetInitial sets the committed value of addr without coherence actions.
 // Use it only to set up initial state before a run.
-func (d *Directory) SetInitial(addr uint64, v uint64) { d.mem[addr] = v }
+func (d *Directory) SetInitial(addr uint64, v uint64) { d.wordAt(addr).val = v }
 
-func (d *Directory) line(addr uint64) *Line {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
-		ln = &Line{Owner: NoCore, copies: make(map[topo.CoreID]*Copy)}
-		d.lines[LineOf(addr)] = ln
-	}
-	return ln
-}
-
-// CopyAt returns core's copy of addr's line, or nil.
+// CopyAt returns core's copy of addr's line, or nil. The pointer is
+// valid until the next directory mutation (Fetch, CommitStore,
+// DropCopy may move copies).
 func (d *Directory) CopyAt(core topo.CoreID, addr uint64) *Copy {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
+	li := LineOf(addr)
+	if li >= uint64(len(d.lines)) {
 		return nil
 	}
-	return ln.copies[core]
+	ln := &d.lines[li]
+	if ln.slot == nil {
+		return nil
+	}
+	if i := ln.slot[core]; i != 0 {
+		return &ln.copies[i-1]
+	}
+	return nil
 }
 
 // install gives core a fresh valid copy on ln, reusing the core's
-// existing Copy struct when it has one: refetches and commit-side
-// reinstalls happen once per store/miss, and recycling the struct (and
-// its stale-snapshot map) keeps the commit path allocation-free.
-func (d *Directory) install(ln *Line, core topo.CoreID, now float64) {
-	if cp := ln.copies[core]; cp != nil {
+// existing Copy slot when it has one: refetches and commit-side
+// reinstalls happen once per store/miss, and recycling the slot (and
+// its stale snapshot) keeps the commit path allocation-free.
+func (d *Directory) install(ln *line, core topo.CoreID, now float64) {
+	if ln.slot == nil {
+		ln.slot = make([]int32, d.numCores) //armvet:ignore allocvet — once per line first caching; reused forever after
+	}
+	if i := ln.slot[core]; i != 0 {
+		cp := &ln.copies[i-1]
 		cp.FetchedAt = now
 		cp.InvalidatedAt = 0
 		cp.ProcessAt = 0
-		clear(cp.stale)
+		cp.stale.reset()
 		return
 	}
-	ln.copies[core] = &Copy{FetchedAt: now} //armvet:ignore allocvet — once per (core, line) first install; reused forever after
+	ln.copies = append(ln.copies, Copy{FetchedAt: now, core: core}) //armvet:ignore allocvet — once per (core, line) first install; reused forever after
+	ln.slot[core] = int32(len(ln.copies))
 }
 
 // Fetch installs a fresh valid copy of addr's line at core, effective at
 // time now (after the miss latency has been paid by the caller). Any
 // previous (e.g. invalidated) copy the core held is replaced.
 func (d *Directory) Fetch(core topo.CoreID, addr uint64, now float64) {
-	ln := d.line(addr)
-	d.install(ln, core, now)
+	d.install(d.lineAt(addr), core, now)
 	d.Fetches++
 }
 
@@ -141,15 +274,17 @@ func (d *Directory) Fetch(core topo.CoreID, addr uint64, now float64) {
 // elsewhere, else the distance to the farthest other copy, else
 // SameCore (an unshared, effectively local line).
 func (d *Directory) AccessDistance(core topo.CoreID, addr uint64) topo.Distance {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
+	li := LineOf(addr)
+	if li >= uint64(len(d.lines)) {
 		return topo.SameCore
 	}
-	if ln.Owner != NoCore && ln.Owner != core {
-		return d.sys.DistanceBetween(core, ln.Owner)
+	ln := &d.lines[li]
+	if ln.owner != NoCore && ln.owner != core {
+		return d.sys.DistanceBetween(core, ln.owner)
 	}
 	far := topo.SameCore
-	for c := range ln.copies {
+	for i := range ln.copies {
+		c := ln.copies[i].core
 		if c == core {
 			continue
 		}
@@ -185,28 +320,25 @@ func (d *Directory) IsRMR(core topo.CoreID, addr uint64) bool {
 // valid copy. Each newly invalidated copy will be processed by its
 // holder at now+procDelay (stale reads possible until then).
 func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, procDelay float64) {
-	ln := d.line(addr)
-	old := d.mem[addr]
-	for c, cp := range ln.copies {
-		if c == core {
+	ln := d.lineAt(addr)
+	w := d.wordAt(addr)
+	old := w.val
+	for i := range ln.copies {
+		cp := &ln.copies[i]
+		if cp.core == core {
 			continue
 		}
-		if cp.stale == nil {
-			cp.stale = make(map[uint64]uint64) //armvet:ignore allocvet — lazy once-per-copy init; cleared and reused by install
-		}
-		if _, snapped := cp.stale[addr]; !snapped {
-			cp.stale[addr] = old
-		}
+		cp.stale.snapshot(addr, old)
 		if cp.Valid() {
 			cp.InvalidatedAt = now
 			cp.ProcessAt = now + procDelay
 		}
 	}
-	d.prevMem[addr] = old
-	d.lastCommit[addr] = now
-	d.mem[addr] = v
-	ln.Owner = core
-	ln.Version++
+	w.prev = old
+	w.lastAt = now
+	w.val = v
+	ln.owner = core
+	ln.version++
 	d.install(ln, core, now)
 	d.Commits++
 }
@@ -214,29 +346,51 @@ func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, pr
 // PrevCommitted returns the value addr held before its most recent
 // commit, and the time of that commit (0 if never written).
 func (d *Directory) PrevCommitted(addr uint64) (uint64, float64) {
-	return d.prevMem[addr], d.lastCommit[addr]
+	if w := wordOf(addr); w < uint64(len(d.words)) {
+		return d.words[w].prev, d.words[w].lastAt
+	}
+	return 0, 0
 }
 
 // DropCopy removes core's copy of addr's line (e.g. once a stale copy's
 // readable window has lapsed and the core refetches).
 func (d *Directory) DropCopy(core topo.CoreID, addr uint64) {
-	if ln := d.lines[LineOf(addr)]; ln != nil {
-		delete(ln.copies, core)
+	li := LineOf(addr)
+	if li >= uint64(len(d.lines)) {
+		return
 	}
+	ln := &d.lines[li]
+	if ln.slot == nil {
+		return
+	}
+	i := ln.slot[core]
+	if i == 0 {
+		return
+	}
+	last := len(ln.copies) - 1
+	if int(i-1) != last {
+		ln.copies[i-1] = ln.copies[last]
+		ln.slot[ln.copies[i-1].core] = i
+	}
+	ln.copies[last] = Copy{}
+	ln.copies = ln.copies[:last]
+	ln.slot[core] = 0
 }
 
 // Sharers returns the cores currently holding any copy (valid or stale)
-// of addr's line, in ascending core order. The copies map iterates in
-// random order (determvet), and callers must be able to log or compare
-// the slice without smuggling that order into output.
+// of addr's line, in ascending core order.
 func (d *Directory) Sharers(addr uint64) []topo.CoreID {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
+	li := LineOf(addr)
+	if li >= uint64(len(d.lines)) {
+		return nil
+	}
+	ln := &d.lines[li]
+	if len(ln.copies) == 0 {
 		return nil
 	}
 	out := make([]topo.CoreID, 0, len(ln.copies))
-	for c := range ln.copies {
-		out = append(out, c)
+	for i := range ln.copies {
+		out = append(out, ln.copies[i].core)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -244,18 +398,16 @@ func (d *Directory) Sharers(addr uint64) []topo.CoreID {
 
 // Owner returns the owning (last writing) core of addr's line.
 func (d *Directory) Owner(addr uint64) topo.CoreID {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
-		return NoCore
+	if li := LineOf(addr); li < uint64(len(d.lines)) {
+		return d.lines[li].owner
 	}
-	return ln.Owner
+	return NoCore
 }
 
 // Version returns the commit version of addr's line (0 if never written).
 func (d *Directory) Version(addr uint64) uint64 {
-	ln := d.lines[LineOf(addr)]
-	if ln == nil {
-		return 0
+	if li := LineOf(addr); li < uint64(len(d.lines)) {
+		return d.lines[li].version
 	}
-	return ln.Version
+	return 0
 }

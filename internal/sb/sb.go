@@ -4,6 +4,15 @@
 // weakly-ordered model the buffer is allowed to commit entries out of
 // order (the ARM design choice the paper's §6 discusses); in TSO mode
 // commits are forced FIFO.
+//
+// The buffer is indexed so the simulator's per-operation queries stop
+// scanning: a per-address tail index answers Forward in O(1), the
+// commit bounds MaxCommit/MinCommit are cached (barriers and RMWs read
+// MaxCommit on every operation), and Remove is O(1) on the simulator's
+// path because commit events retire per buffer in commit-time order —
+// the removed entry is almost always the oldest pending one. Arbitrary
+// removal orders (exercised by the property tests) stay correct and
+// merely fall back to a short scan.
 package sb
 
 import "math"
@@ -17,33 +26,69 @@ type Entry struct {
 	Commit float64 // scheduled commit time
 }
 
+// inlineEntries is the pending-array capacity embedded in the Buffer
+// itself: at least the largest platform store-buffer depth
+// (platform.StoreBufferEntries is 12–24), so New allocates nothing for
+// every machine the experiments build.
+const inlineEntries = 24
+
 // Buffer is a bounded store buffer. The zero value is not usable; call
-// New.
+// New or Init.
 type Buffer struct {
 	cap     int
 	fifo    bool
 	nextSeq uint64
-	pending []Entry // issue order
+	pending []Entry // issue order; live entries are pending[head:]
+	head    int     // retired prefix — commit-order removal just bumps this
+
+	// Cached commit bounds. maxCommit is maintained eagerly: pushes
+	// only raise it, and the simulator removes entries in commit-time
+	// order so the maximum leaves the buffer last. minCommit is
+	// memoized lazily (minOK) — it is only read on the rare
+	// full-buffer stall, while every removal would otherwise have to
+	// recompute it.
+	maxCommit float64
+	minCommit float64
+	minOK     bool
+
+	fwd fwdTable // per-address tail index (youngest pending value)
+
+	inline [inlineEntries]Entry // backing for pending when cap permits
 }
 
 // New returns a buffer with the given capacity. If fifo is true the
 // buffer guarantees in-order commit (TSO); otherwise entries commit at
 // their individually scheduled times (WMM).
 func New(capacity int, fifo bool) *Buffer {
+	b := &Buffer{}
+	b.Init(capacity, fifo)
+	return b
+}
+
+// Init (re)initializes b in place with the given capacity and commit
+// discipline, so a Buffer embedded in a larger struct (the simulator's
+// Thread) costs no separate allocation.
+func (b *Buffer) Init(capacity int, fifo bool) {
 	if capacity <= 0 {
 		panic("sb: capacity must be positive")
 	}
-	return &Buffer{cap: capacity, fifo: fifo}
+	*b = Buffer{cap: capacity, fifo: fifo}
+	if capacity <= inlineEntries {
+		b.pending = b.inline[:0]
+	} else {
+		b.pending = make([]Entry, 0, capacity)
+	}
+	b.fwd.init()
 }
 
 // FIFO reports whether the buffer commits in order.
 func (b *Buffer) FIFO() bool { return b.fifo }
 
 // Len reports the number of pending (uncommitted) stores.
-func (b *Buffer) Len() int { return len(b.pending) }
+func (b *Buffer) Len() int { return len(b.pending) - b.head }
 
 // Full reports whether a new store would exceed capacity.
-func (b *Buffer) Full() bool { return len(b.pending) >= b.cap }
+func (b *Buffer) Full() bool { return b.Len() >= b.cap }
 
 // Push inserts a store issued at issue with proposed commit time
 // commit, returning the entry actually recorded. In FIFO mode the
@@ -53,72 +98,308 @@ func (b *Buffer) Push(addr, value uint64, issue, commit float64) Entry {
 	if b.Full() {
 		panic("sb: push into full buffer (caller must stall first)")
 	}
-	if b.fifo && len(b.pending) > 0 {
+	if b.fifo && b.Len() > 0 {
 		if last := b.pending[len(b.pending)-1].Commit; commit <= last {
 			commit = math.Nextafter(last, math.Inf(1))
 		}
 	}
+	if len(b.pending) == cap(b.pending) && b.head > 0 {
+		// The backing array is exhausted but a retired prefix exists:
+		// compact the live entries to the front instead of growing.
+		n := copy(b.pending, b.pending[b.head:])
+		b.pending = b.pending[:n]
+		b.head = 0
+	}
 	b.nextSeq++
 	e := Entry{Seq: b.nextSeq, Addr: addr, Value: value, Issue: issue, Commit: commit}
 	b.pending = append(b.pending, e)
+	if commit > b.maxCommit {
+		b.maxCommit = commit
+	}
+	if b.minOK && commit < b.minCommit {
+		b.minCommit = commit
+	}
+	b.fwd.push(addr, value, e.Seq)
 	return e
 }
 
 // Forward returns the youngest pending value for addr, if any: the
-// core's own loads must observe its own stores.
+// core's own loads must observe its own stores. One index probe, no
+// scan.
 func (b *Buffer) Forward(addr uint64) (uint64, bool) {
-	for i := len(b.pending) - 1; i >= 0; i-- {
-		if b.pending[i].Addr == addr {
-			return b.pending[i].Value, true
-		}
-	}
-	return 0, false
+	return b.fwd.lookup(addr)
 }
 
 // Remove deletes the entry with the given sequence number (when its
 // commit event has been applied).
 func (b *Buffer) Remove(seq uint64) bool {
-	for i := range b.pending {
-		if b.pending[i].Seq == seq {
-			b.pending = append(b.pending[:i], b.pending[i+1:]...)
-			return true
+	p := b.pending
+	if b.head >= len(p) {
+		return false
+	}
+	// Commit events retire in commit-time order per buffer, and
+	// same-address stores commit in issue order, so the removed entry
+	// is nearly always the oldest pending one — a head bump, no shift.
+	var e Entry
+	if p[b.head].Seq == seq {
+		e = p[b.head]
+		b.head++
+		if b.head == len(p) {
+			b.pending, b.head = p[:0], 0
+		}
+	} else {
+		i := -1
+		for j := b.head + 1; j < len(p); j++ {
+			if p[j].Seq == seq {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return false
+		}
+		e = p[i]
+		copy(p[i:], p[i+1:])
+		b.pending = p[:len(p)-1]
+	}
+	if b.fwd.remove(e.Addr, e.Seq) {
+		// The removed entry was the youngest for its address while
+		// older same-address entries remain (an out-of-issue-order
+		// removal the simulator never performs): rescan for the new
+		// youngest.
+		b.refreshForward(e.Addr)
+	}
+	switch {
+	case b.Len() == 0:
+		b.maxCommit = 0
+		b.minCommit, b.minOK = 0, false
+	default:
+		if e.Commit >= b.maxCommit {
+			b.recomputeMax()
+		}
+		if b.minOK && e.Commit <= b.minCommit {
+			b.minOK = false
 		}
 	}
-	return false
+	return true
+}
+
+// refreshForward reindexes addr from the youngest matching pending
+// entry. Only reached by removal orders the simulator never produces.
+func (b *Buffer) refreshForward(addr uint64) {
+	for i := len(b.pending) - 1; i >= b.head; i-- {
+		if b.pending[i].Addr == addr {
+			b.fwd.set(addr, b.pending[i].Value, b.pending[i].Seq)
+			return
+		}
+	}
+}
+
+// recomputeMax rescans for the maximum commit bound after the entry
+// holding it was removed ahead of later-committing ones.
+func (b *Buffer) recomputeMax() {
+	m := 0.0
+	for i := b.head; i < len(b.pending); i++ {
+		if b.pending[i].Commit > m {
+			m = b.pending[i].Commit
+		}
+	}
+	b.maxCommit = m
 }
 
 // MaxCommit returns the latest scheduled commit time among pending
 // entries, or 0 if the buffer is empty. Barriers that order stores wait
 // at least this long.
-func (b *Buffer) MaxCommit() float64 {
-	var m float64
-	for i := range b.pending {
-		if b.pending[i].Commit > m {
-			m = b.pending[i].Commit
-		}
-	}
-	return m
-}
+func (b *Buffer) MaxCommit() float64 { return b.maxCommit }
 
 // MinCommit returns the earliest scheduled commit time among pending
 // entries, or 0 if the buffer is empty. A full buffer stalls issue
 // until this time.
 func (b *Buffer) MinCommit() float64 {
-	if len(b.pending) == 0 {
+	if b.Len() == 0 {
 		return 0
 	}
-	m := b.pending[0].Commit
-	for i := 1; i < len(b.pending); i++ {
-		if b.pending[i].Commit < m {
-			m = b.pending[i].Commit
+	if !b.minOK {
+		m := b.pending[b.head].Commit
+		for i := b.head + 1; i < len(b.pending); i++ {
+			if b.pending[i].Commit < m {
+				m = b.pending[i].Commit
+			}
 		}
+		b.minCommit, b.minOK = m, true
 	}
-	return m
+	return b.minCommit
 }
 
 // Entries returns a snapshot of the pending entries in issue order.
 func (b *Buffer) Entries() []Entry {
-	out := make([]Entry, len(b.pending))
-	copy(out, b.pending)
+	out := make([]Entry, b.Len())
+	copy(out, b.pending[b.head:])
 	return out
+}
+
+// fwdTable is the per-address tail index: for every address with
+// pending stores it records the youngest pending value (what Forward
+// must return), that entry's sequence number, and how many pending
+// entries target the address. Open addressing with linear probing and
+// backward-shift deletion; the live key count is bounded by the buffer
+// capacity, so the table stays tiny and allocation-free after Init.
+type fwdSlot struct {
+	addr uint64 // 0 marks an empty slot
+	seq  uint64 // youngest pending Seq for addr
+	val  uint64 // value of that entry
+	n    int32  // pending entries targeting addr
+}
+
+// fwdMinCap covers the largest platform buffer (24 entries, hence at
+// most 24 distinct live addresses) at under 3/4 load.
+const fwdMinCap = 64
+
+type fwdTable struct {
+	slots []fwdSlot
+	live  int
+	shift uint
+
+	// Address 0 is representable (the simulator never allocates it,
+	// but the package contract allows it) and kept outside the table
+	// so slot 0 can mean "empty".
+	zero fwdSlot
+
+	inline [fwdMinCap]fwdSlot
+}
+
+func (f *fwdTable) init() {
+	f.slots = f.inline[:]
+	for i := range f.slots {
+		f.slots[i] = fwdSlot{}
+	}
+	f.live = 0
+	f.shift = 64 - 6
+	f.zero = fwdSlot{}
+}
+
+func (f *fwdTable) hash(addr uint64) int {
+	return int((addr * 0x9E3779B97F4A7C15) >> f.shift)
+}
+
+// lookup returns the youngest pending value for addr.
+func (f *fwdTable) lookup(addr uint64) (uint64, bool) {
+	if addr == 0 {
+		return f.zero.val, f.zero.n > 0
+	}
+	mask := len(f.slots) - 1
+	for i := f.hash(addr); ; i = (i + 1) & mask {
+		s := &f.slots[i]
+		switch s.addr {
+		case addr:
+			return s.val, true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+// push records a new youngest entry for addr.
+func (f *fwdTable) push(addr, val, seq uint64) {
+	if addr == 0 {
+		f.zero.val, f.zero.seq = val, seq
+		f.zero.n++
+		return
+	}
+	mask := len(f.slots) - 1
+	for i := f.hash(addr); ; i = (i + 1) & mask {
+		s := &f.slots[i]
+		switch s.addr {
+		case addr:
+			s.val, s.seq = val, seq
+			s.n++
+			return
+		case 0:
+			*s = fwdSlot{addr: addr, val: val, seq: seq, n: 1}
+			f.live++
+			if 4*f.live >= 3*len(f.slots) {
+				f.grow()
+			}
+			return
+		}
+	}
+}
+
+// set overwrites the youngest record for a live address (rescan path).
+func (f *fwdTable) set(addr, val, seq uint64) {
+	if addr == 0 {
+		f.zero.val, f.zero.seq = val, seq
+		return
+	}
+	mask := len(f.slots) - 1
+	for i := f.hash(addr); ; i = (i + 1) & mask {
+		if s := &f.slots[i]; s.addr == addr {
+			s.val, s.seq = val, seq
+			return
+		}
+	}
+}
+
+// remove drops one pending entry for addr. It reports whether the
+// caller must rescan: the removed entry was the indexed youngest while
+// other entries for addr remain pending.
+func (f *fwdTable) remove(addr, seq uint64) bool {
+	if addr == 0 {
+		f.zero.n--
+		if f.zero.n == 0 {
+			f.zero = fwdSlot{}
+			return false
+		}
+		return f.zero.seq == seq
+	}
+	mask := len(f.slots) - 1
+	i := f.hash(addr)
+	for f.slots[i].addr != addr {
+		i = (i + 1) & mask
+	}
+	s := &f.slots[i]
+	s.n--
+	if s.n > 0 {
+		return s.seq == seq
+	}
+	// Last pending entry for addr: delete the slot, backward-shifting
+	// any displaced followers so probe chains stay unbroken.
+	f.live--
+	for {
+		j := i
+		for {
+			j = (j + 1) & mask
+			if f.slots[j].addr == 0 {
+				f.slots[i] = fwdSlot{}
+				return false
+			}
+			h := f.hash(f.slots[j].addr)
+			// Can slot j legally move into the hole at i? Only if its
+			// home position does not lie strictly between i (exclusive)
+			// and j (inclusive) in probe order.
+			if (j-h)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		f.slots[i] = f.slots[j]
+		i = j
+	}
+}
+
+// grow doubles the table and reinserts every live slot.
+func (f *fwdTable) grow() {
+	old := f.slots
+	f.slots = make([]fwdSlot, 2*len(old))
+	f.shift--
+	mask := len(f.slots) - 1
+	for _, s := range old {
+		if s.addr == 0 {
+			continue
+		}
+		i := f.hash(s.addr)
+		for f.slots[i].addr != 0 {
+			i = (i + 1) & mask
+		}
+		f.slots[i] = s
+	}
 }

@@ -143,3 +143,205 @@ func TestNewValidation(t *testing.T) {
 	}()
 	New(0, false)
 }
+
+// naiveBuffer is the straightforward O(n)-scan reference the indexed
+// Buffer must agree with: every query walks the pending slice.
+type naiveBuffer struct {
+	cap     int
+	fifo    bool
+	nextSeq uint64
+	pending []Entry
+}
+
+func (n *naiveBuffer) push(addr, value uint64, issue, commit float64) Entry {
+	if n.fifo && len(n.pending) > 0 {
+		if last := n.pending[len(n.pending)-1].Commit; commit <= last {
+			commit = math.Nextafter(last, math.Inf(1))
+		}
+	}
+	n.nextSeq++
+	e := Entry{Seq: n.nextSeq, Addr: addr, Value: value, Issue: issue, Commit: commit}
+	n.pending = append(n.pending, e)
+	return e
+}
+
+func (n *naiveBuffer) forward(addr uint64) (uint64, bool) {
+	for i := len(n.pending) - 1; i >= 0; i-- {
+		if n.pending[i].Addr == addr {
+			return n.pending[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+func (n *naiveBuffer) remove(seq uint64) bool {
+	for i := range n.pending {
+		if n.pending[i].Seq == seq {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *naiveBuffer) maxCommit() float64 {
+	m := 0.0
+	for i := range n.pending {
+		if n.pending[i].Commit > m {
+			m = n.pending[i].Commit
+		}
+	}
+	return m
+}
+
+func (n *naiveBuffer) minCommit() float64 {
+	if len(n.pending) == 0 {
+		return 0
+	}
+	m := n.pending[0].Commit
+	for i := 1; i < len(n.pending); i++ {
+		if n.pending[i].Commit < m {
+			m = n.pending[i].Commit
+		}
+	}
+	return m
+}
+
+// TestPropertyIndexedMatchesNaive drives the indexed buffer and the
+// naive reference through identical random push/remove sequences —
+// including removal orders the simulator never produces (youngest
+// first, middle of the pending window) — and checks every observable
+// after every step.
+func TestPropertyIndexedMatchesNaive(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		fifo := fifo
+		f := func(ops []uint16, addrs []uint8, commits []uint16) bool {
+			const capacity = 32
+			b := New(capacity, fifo)
+			ref := &naiveBuffer{cap: capacity, fifo: fifo}
+			n := len(ops)
+			if len(addrs) < n {
+				n = len(addrs)
+			}
+			if len(commits) < n {
+				n = len(commits)
+			}
+			if n > 400 {
+				n = 400
+			}
+			// Distinct address universe small enough to force collisions
+			// and repeated-address chains in the fwd index.
+			for i := 0; i < n; i++ {
+				op := ops[i]
+				switch {
+				case b.Len() == 0 || (op%3 != 0 && !b.Full()):
+					addr := uint64(addrs[i]%13) * 64 // includes addr 0
+					commit := float64(commits[i]%997) + 1
+					val := uint64(i)
+					eb := b.Push(addr, val, float64(i), commit)
+					er := ref.push(addr, val, float64(i), commit)
+					if eb != er {
+						t.Logf("step %d: push mismatch %+v vs %+v", i, eb, er)
+						return false
+					}
+				default:
+					// Remove an arbitrary pending entry (index chosen by
+					// the fuzz input), or sometimes a bogus seq.
+					var seq uint64
+					if op%7 == 0 {
+						seq = uint64(op) + 1_000_000 // absent
+					} else {
+						seq = ref.pending[int(op)%len(ref.pending)].Seq
+					}
+					if gb, gr := b.Remove(seq), ref.remove(seq); gb != gr {
+						t.Logf("step %d: remove(%d) = %v, ref %v", i, seq, gb, gr)
+						return false
+					}
+				}
+				if b.Len() != len(ref.pending) {
+					t.Logf("step %d: len %d vs %d", i, b.Len(), len(ref.pending))
+					return false
+				}
+				if b.MaxCommit() != ref.maxCommit() {
+					t.Logf("step %d: MaxCommit %v vs %v", i, b.MaxCommit(), ref.maxCommit())
+					return false
+				}
+				if b.MinCommit() != ref.minCommit() {
+					t.Logf("step %d: MinCommit %v vs %v", i, b.MinCommit(), ref.minCommit())
+					return false
+				}
+				for a := uint64(0); a < 13; a++ {
+					addr := a * 64
+					vb, okb := b.Forward(addr)
+					vr, okr := ref.forward(addr)
+					if okb != okr || (okb && vb != vr) {
+						t.Logf("step %d: Forward(%d) = %d,%v vs %d,%v", i, addr, vb, okb, vr, okr)
+						return false
+					}
+				}
+				es := b.Entries()
+				if len(es) != len(ref.pending) {
+					return false
+				}
+				for j := range es {
+					if es[j] != ref.pending[j] {
+						t.Logf("step %d: entry %d: %+v vs %+v", i, j, es[j], ref.pending[j])
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("fifo=%v: %v", fifo, err)
+		}
+	}
+}
+
+// TestFwdTableGrow pushes more distinct live addresses than the inline
+// table holds, forcing growth, then removes in an adversarial order.
+func TestFwdTableGrow(t *testing.T) {
+	b := New(256, false)
+	var seqs []uint64
+	for i := 0; i < 200; i++ {
+		e := b.Push(uint64(i+1)*64, uint64(i), float64(i), float64(i+1000))
+		seqs = append(seqs, e.Seq)
+	}
+	for i := 0; i < 200; i++ {
+		addr := uint64(i+1) * 64
+		if v, ok := b.Forward(addr); !ok || v != uint64(i) {
+			t.Fatalf("Forward(%d) = %d,%v after grow", addr, v, ok)
+		}
+	}
+	// Remove youngest-first so every removal exercises the delete path.
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if !b.Remove(seqs[i]) {
+			t.Fatalf("remove %d", seqs[i])
+		}
+	}
+	if b.Len() != 0 || b.MaxCommit() != 0 || b.MinCommit() != 0 {
+		t.Fatalf("buffer not empty after draining: len=%d", b.Len())
+	}
+}
+
+// TestInitReuse re-initializes one buffer in place and checks no state
+// leaks across Init calls.
+func TestInitReuse(t *testing.T) {
+	b := New(4, false)
+	b.Push(64, 1, 0, 10)
+	b.Push(128, 2, 0, 20)
+	b.Init(8, true)
+	if b.Len() != 0 || !b.FIFO() {
+		t.Fatalf("Init did not reset: len=%d fifo=%v", b.Len(), b.FIFO())
+	}
+	if _, ok := b.Forward(64); ok {
+		t.Fatal("stale forward entry survived Init")
+	}
+	if b.MaxCommit() != 0 || b.MinCommit() != 0 {
+		t.Fatal("stale commit bounds survived Init")
+	}
+	e := b.Push(64, 3, 0, 5)
+	if e.Seq != 1 {
+		t.Fatalf("seq not reset: %d", e.Seq)
+	}
+}

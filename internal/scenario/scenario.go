@@ -13,6 +13,7 @@ import (
 
 	"armbar/internal/isa"
 	"armbar/internal/platform"
+	"armbar/internal/prog"
 	"armbar/internal/sim"
 	"armbar/internal/topo"
 )
@@ -159,6 +160,7 @@ func (s *Spec) Run(tr sim.Tracer) (*Result, error) {
 		m.SetInitial(a, s.Init[v])
 	}
 
+	compiled := sim.EngineDefault.Resolve() == sim.EngineCompiled
 	stats := make([]sim.ThreadStats, len(s.Threads))
 	for ti, th := range s.Threads {
 		ti, th := ti, th
@@ -166,13 +168,18 @@ func (s *Spec) Run(tr sim.Tracer) (*Result, error) {
 		if loops <= 0 {
 			loops = 1
 		}
-		handle := m.Spawn(topo.CoreID(th.Core), func(t *sim.Thread) {
-			for l := 0; l < loops; l++ {
-				for _, op := range th.Ops {
-					runOp(t, op, addr)
+		var handle *sim.Thread
+		if compiled {
+			handle = m.SpawnProgram(topo.CoreID(th.Core), compileThread(th, loops, addr, p.Cost.IssueWidth))
+		} else {
+			handle = m.Spawn(topo.CoreID(th.Core), func(t *sim.Thread) {
+				for l := 0; l < loops; l++ {
+					for _, op := range th.Ops {
+						runOp(t, op, addr)
+					}
 				}
-			}
-		})
+			})
+		}
 		defer func() { stats[ti] = handle.Stats() }()
 	}
 	cycles := m.Run()
@@ -187,6 +194,53 @@ func (s *Spec) Run(tr sim.Tracer) (*Result, error) {
 		Final:   final,
 		Stats:   m.Stats(),
 	}, nil
+}
+
+// spinPadNops is the padding between spin polls, matching runOp's
+// interpreted spin loops.
+const spinPadNops = 4
+
+// compileThread lowers one thread spec to a micro-op program: var
+// names resolve to absolute addresses, barrier names to isa values,
+// the loop to a counted loop, and spins to poll/pad/backedge
+// triplets. The op sequence matches the interpreted closure op for op.
+func compileThread(th ThreadSpec, loops int, addr map[string]uint64, issueWidth float64) *prog.Program {
+	b := prog.NewBuilder(issueWidth)
+	b.Loop(loops)
+	for _, op := range th.Ops {
+		a := prog.Abs(addr[op.Var])
+		switch op.Op {
+		case "load":
+			b.Load(a)
+		case "loadacq":
+			b.LoadAcquire(a)
+		case "loadacqpc":
+			b.LoadAcquirePC(a)
+		case "store":
+			b.Store(a, prog.Imm(op.Value))
+		case "storerel":
+			b.StoreRelease(a, prog.Imm(op.Value))
+		case "fetchadd":
+			b.FetchAdd(a, prog.Imm(op.Value))
+		case "swap":
+			b.Swap(a, prog.Imm(op.Value))
+		case "cas":
+			b.CompareAndSwap(a, op.Value, op.New)
+		case "barrier":
+			bar, _ := barrierByName(op.Barrier) // Validate vetted the name
+			b.Barrier(bar)
+		case "nops":
+			b.Nops(op.N)
+		case "work":
+			b.Work(float64(op.N))
+		case "spin_eq":
+			b.SpinEQ(a, op.Value, spinPadNops)
+		case "spin_ne":
+			b.SpinNE(a, op.Value, spinPadNops)
+		}
+	}
+	b.EndLoop()
+	return b.MustBuild()
 }
 
 // runOp executes one op on a thread.

@@ -19,18 +19,32 @@ type addrTimes struct {
 	zero float64   // value for key 0, kept outside the table
 
 	shift uint // 64 - log2(len(keys)), for the multiplicative hash
+
+	// Inline backing for the initial table, so a Thread's embedded
+	// addrTimes costs no separate allocations until it grows.
+	ikeys [addrTimesMinCap]uint64
+	ivals [addrTimesMinCap]float64
 }
 
 // addrTimesMinCap is the initial table size: bigger than the store
 // working set of nearly every simulated loop, so growth is rare.
 const addrTimesMinCap = 16
 
+// init (re)initializes the table in place over its inline backing.
+func (a *addrTimes) init() {
+	a.ikeys = [addrTimesMinCap]uint64{}
+	a.ivals = [addrTimesMinCap]float64{}
+	a.keys = a.ikeys[:]
+	a.vals = a.ivals[:]
+	a.n = 0
+	a.zero = 0
+	a.shift = 64 - 4
+}
+
 func newAddrTimes() *addrTimes {
-	return &addrTimes{
-		keys:  make([]uint64, addrTimesMinCap),
-		vals:  make([]float64, addrTimesMinCap),
-		shift: 64 - 4,
-	}
+	a := &addrTimes{}
+	a.init()
+	return a
 }
 
 // hash spreads line-aligned addresses (low bits all zero) across the

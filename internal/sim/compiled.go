@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"fmt"
+
+	"armbar/internal/prog"
+	"armbar/internal/topo"
+)
+
+// This file is the compiled engine's executor. A thread spawned with
+// SpawnProgram runs a precompiled micro-op program (package prog)
+// instead of a Go closure: operands are pre-resolved, so each
+// machine-visible op dispatches through the per-opcode function table
+// below with no request staging and no per-op switch, and free control
+// codes (jumps, counted-loop backedges) fold into pc updates between
+// dispatches. The executor participates in the direct-dispatch
+// scheduler (sched.go) exactly like the interpreted path: ops are
+// serviced in global min-(now, id) order, retries advance only the
+// thread's clock, and noteServed sees the identical service sequence —
+// which is why the golden digests and the differential engine test
+// hold bit-for-bit across engines.
+
+// SpawnProgram starts a simulated thread pinned to the given core
+// executing the compiled program. Like Spawn, it must be called before
+// Run. The program must validate; programs built by prog.Builder
+// always do.
+func (m *Machine) SpawnProgram(core topo.CoreID, p *prog.Program) *Thread {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: SpawnProgram: %v", err))
+	}
+	return m.Spawn(core, func(t *Thread) { t.exec(p) })
+}
+
+// execEnv is the executor's per-run state: the flat op array, the
+// program counter, and the loop counters. It lives on the thread
+// goroutine's stack — running a program allocates nothing.
+type execEnv struct {
+	ops      []prog.Op
+	tables   [][]uint64
+	pc       int32
+	counters [prog.MaxLoopDepth]int64
+}
+
+// addr resolves a memory op's address: an immediate, or an address
+// ring indexed by the op's loop counter.
+func (e *execEnv) addr(op *prog.Op) uint64 {
+	if op.AMode == prog.AddrImm {
+		return op.Addr
+	}
+	tab := e.tables[op.Addr]
+	return tab[uint64(e.counters[op.Dep])%uint64(len(tab))]
+}
+
+// value resolves a store/atomic value: an immediate or the iteration
+// index.
+func (e *execEnv) value(op *prog.Op) uint64 {
+	if op.VMode == prog.ValImm {
+		return op.Val
+	}
+	return uint64(e.counters[op.Dep])
+}
+
+// stepControl folds free control codes (Jump, LoopEnd) into pc and
+// counter updates until the program counter rests on a machine-visible
+// op or past the end. These correspond to Go-level control flow in the
+// interpreted engine and consume no simulated time. The transition
+// bound catches malformed control cycles (a program of only jumps)
+// instead of hanging.
+func (e *execEnv) stepControl() {
+	steps := 0
+	for int(e.pc) < len(e.ops) {
+		op := &e.ops[e.pc]
+		switch op.Code {
+		case prog.Jump:
+			e.pc = op.Target
+		case prog.LoopEnd:
+			c := e.counters[op.Dep] + 1
+			if c < op.Count {
+				e.counters[op.Dep] = c
+				e.pc = op.Target
+			} else {
+				e.counters[op.Dep] = 0
+				e.pc++
+			}
+		default:
+			return
+		}
+		if steps++; steps > len(e.ops) {
+			badControlCycle()
+		}
+	}
+}
+
+//go:noinline
+func badControlCycle() {
+	panic("sim: compiled program loops forever in free control ops")
+}
+
+// done reports whether the program has run to completion.
+func (e *execEnv) done() bool { return int(e.pc) >= len(e.ops) }
+
+// exec drives the program through the scheduler on the thread's own
+// goroutine. It mirrors Thread.dispatch op for op: the solo fast path
+// holds the machine for the whole program; the general path keeps the
+// thread in the run queue between ops (re-keying it with fix), which
+// yields the same min-(now, id) service order as the interpreted
+// engine's remove-and-repush — (time, id) keys are unique, so the heap
+// minimum is the same thread either way.
+func (t *Thread) exec(p *prog.Program) {
+	var e execEnv
+	e.ops = p.Ops
+	e.tables = p.Tables
+	e.stepControl()
+	if e.done() {
+		return
+	}
+	m := t.m
+	m.mu.Lock()
+	if m.started && m.alive == 1 {
+		m.execSolo(t, &e)
+		m.mu.Unlock()
+		return
+	}
+	m.runq.push(t)
+	for {
+		if m.started && m.runq.len() == m.alive {
+			if m.runq.min() == t {
+				if t.now > m.cfg.MaxTime {
+					m.fatalStuck(t)
+				}
+				if m.safeExecStep(t, &e) && e.done() {
+					m.runq.remove(t.heapIdx)
+					m.mu.Unlock()
+					return
+				}
+				// Retried (clock advanced) or more ops to run: re-key and
+				// re-evaluate the gate.
+				m.runq.fix(t.heapIdx)
+				continue
+			}
+			// Someone else must run first: hand them the machine.
+			m.runq.min().grant()
+		}
+		m.mu.Unlock()
+		t.park()
+		m.mu.Lock()
+	}
+}
+
+// execSolo runs the whole program while holding the machine: with one
+// live thread nothing can preempt it, so the per-op lock round trips
+// of the interpreted solo path disappear entirely. One deferred
+// recover covers the run (the watchdog report, a directory panic)
+// because fatalLocked never returns.
+//
+// armvet:holds mu
+func (m *Machine) execSolo(t *Thread, e *execEnv) {
+	defer func() { //armvet:ignore allocvet — open-coded defer, once per program run
+		if p := recover(); p != nil {
+			m.fatalLocked(p)
+		}
+	}()
+	for !e.done() {
+		if t.now > m.cfg.MaxTime {
+			m.fatalStuck(t)
+		}
+		m.execStep(t, e)
+	}
+}
+
+// safeExecStep is execStep behind the panic-to-fatal contract of
+// safeProcess: a panic while dispatching surfaces from Run on the
+// caller's goroutine.
+func (m *Machine) safeExecStep(t *Thread, e *execEnv) (ok bool) {
+	defer func() { //armvet:ignore allocvet — open-coded defer; perf gate measures 0 allocs/op
+		if p := recover(); p != nil {
+			m.fatalLocked(p)
+		}
+	}()
+	return m.execStep(t, e)
+}
+
+// execStep dispatches the machine-visible op at pc. It returns false
+// when the op could not run yet and only advanced the thread's clock
+// (same retry contract as process); on success it advances pc and
+// folds any following control ops.
+//
+// armvet:holds mu
+func (m *Machine) execStep(t *Thread, e *execEnv) bool {
+	m.retireStores(t.now)
+	m.now = t.now
+	op := &e.ops[e.pc]
+	if !opExec[op.Code](m, t, e, op) {
+		return false
+	}
+	m.noteServed(t)
+	e.stepControl()
+	return true
+}
+
+// opExec is the compiled engine's dispatch table: one function per
+// machine-visible opcode, mirroring the corresponding case of
+// Machine.process exactly (clock updates, stats, trace emissions, rng
+// draw order). Control codes never reach dispatch — stepControl folds
+// them — so their slots stay nil.
+var opExec = [prog.NumCodes]func(*Machine, *Thread, *execEnv, *prog.Op) bool{
+	prog.Load:      execLoad,
+	prog.LoadAcq:   execLoadAcq,
+	prog.LoadAcqPC: execLoadAcqPC,
+	prog.Store:     execStore,
+	prog.StoreRel:  execStoreRel,
+	prog.Barrier:   execBarrier,
+	prog.Work:      execWork,
+	prog.FetchAdd:  execFetchAdd,
+	prog.Swap:      execSwap,
+	prog.CAS:       execCAS,
+	prog.SpinEQ:    execSpinEQ,
+	prog.SpinNE:    execSpinNE,
+}
+
+func execLoad(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	m.doLoad(t, a, false)
+	m.emit(t, TraceLoad, a, start, t.now, "")
+	e.pc++
+	return true
+}
+
+func execLoadAcq(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	m.doLoad(t, a, true)
+	m.emit(t, TraceLoad, a, start, t.now, "acquire")
+	e.pc++
+	return true
+}
+
+func execLoadAcqPC(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	m.doLoad(t, a, true)
+	// RCpc: keep the in-flight horizon at the load's issue so later
+	// independent misses still overlap it.
+	t.prevLoadIssue = start
+	m.emit(t, TraceLoad, a, start, t.now, "acquire-pc")
+	e.pc++
+	return true
+}
+
+// storeStall is the shared full-buffer retry: issue stalls until the
+// earliest pending commit; the thread re-enters at its new time so
+// intervening commits apply in order.
+func storeStall(t *Thread) bool {
+	if t.buf.Full() {
+		if min := t.buf.MinCommit(); min > t.now {
+			t.stats.BarrierStalled += min - t.now
+			t.now = min
+			return true
+		}
+	}
+	return false
+}
+
+func execStore(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	if storeStall(t) {
+		return false
+	}
+	start := t.now
+	a := e.addr(op)
+	m.doStore(t, a, e.value(op), false)
+	m.emit(t, TraceStore, a, start, t.now, "")
+	e.pc++
+	return true
+}
+
+func execStoreRel(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	if storeStall(t) {
+		return false
+	}
+	start := t.now
+	a := e.addr(op)
+	m.doStore(t, a, e.value(op), true)
+	m.emit(t, TraceStore, a, start, t.now, "release")
+	e.pc++
+	return true
+}
+
+func execBarrier(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	m.doBarrier(t, op.Bar)
+	m.emit(t, TraceBarrier, 0, start, t.now, op.Bar.String())
+	e.pc++
+	return true
+}
+
+func execWork(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	t.now += op.Cyc
+	m.emit(t, TraceWork, 0, start, t.now, "")
+	e.pc++
+	return true
+}
+
+// rmwStall is the shared release-half retry: earlier stores must have
+// drained before an acquire-release atomic runs.
+func rmwStall(t *Thread) bool {
+	if need := maxf(t.buf.MaxCommit(), t.storeFloor); need > t.now {
+		t.stats.BarrierStalled += need - t.now
+		t.now = need
+		return true
+	}
+	return false
+}
+
+func execFetchAdd(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	return execRMW(m, t, e, op, opFetchAdd)
+}
+
+func execSwap(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	return execRMW(m, t, e, op, opSwap)
+}
+
+func execCAS(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	return execRMW(m, t, e, op, opCAS)
+}
+
+func execRMW(m *Machine, t *Thread, e *execEnv, op *prog.Op, kind opKind) bool {
+	if rmwStall(t) {
+		return false
+	}
+	start := t.now
+	a := e.addr(op)
+	m.doRMW(t, kind, a, e.value(op), op.Val2)
+	m.emit(t, TraceRMW, a, start, t.now, "")
+	e.pc++
+	return true
+}
+
+func execSpinEQ(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	v := m.doLoad(t, a, false)
+	m.emit(t, TraceLoad, a, start, t.now, "")
+	if v == op.Val {
+		e.pc = op.Target
+	} else {
+		e.pc++
+	}
+	return true
+}
+
+func execSpinNE(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	v := m.doLoad(t, a, false)
+	m.emit(t, TraceLoad, a, start, t.now, "")
+	if v != op.Val {
+		e.pc = op.Target
+	} else {
+		e.pc++
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Engine selects how workload packages drive the simulator: the
+// compiled engine lowers deterministic op sequences to micro-op
+// programs (package prog) executed by the dispatch table in
+// compiled.go; the interpreted engine runs the original Go closures
+// through the per-op Thread methods. Both produce byte-identical
+// results — the golden digest and differential tests enforce it — so
+// the choice is purely a performance escape hatch (-engine in
+// cmd/armbar).
+type Engine int
+
+const (
+	// EngineDefault resolves to the process-wide default (compiled
+	// unless SetDefaultEngine overrode it).
+	EngineDefault Engine = iota
+	// EngineCompiled precompiles op sequences into micro-op programs.
+	EngineCompiled
+	// EngineInterp runs the original closure bodies op by op.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineDefault:
+		return "default"
+	case EngineCompiled:
+		return "compiled"
+	case EngineInterp:
+		return "interp"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine resolves a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "compiled":
+		return EngineCompiled, nil
+	case "interp":
+		return EngineInterp, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (want compiled or interp)", s)
+	}
+}
+
+// defaultEngine holds the process-wide engine default; 0 means unset,
+// which resolves to compiled.
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine installs the process-wide default used when a
+// workload's config leaves the engine unset. Passing EngineDefault
+// restores the built-in default (compiled).
+func SetDefaultEngine(e Engine) { defaultEngine.Store(int32(e)) }
+
+// Resolve maps EngineDefault to the process-wide default.
+func (e Engine) Resolve() Engine {
+	if e != EngineDefault {
+		return e
+	}
+	if d := Engine(defaultEngine.Load()); d != EngineDefault {
+		return d
+	}
+	return EngineCompiled
+}

@@ -16,3 +16,4 @@ func BenchmarkRendezvousLoadHit(b *testing.B)    { simbench.RendezvousLoadHit(b)
 func BenchmarkRendezvousTwoThreads(b *testing.B) { simbench.RendezvousTwoThreads(b) }
 func BenchmarkStoreCommit(b *testing.B)          { simbench.StoreCommit(b) }
 func BenchmarkStoreDMBFull(b *testing.B)         { simbench.StoreDMBFull(b) }
+func BenchmarkCompiledDispatch(b *testing.B)     { simbench.CompiledDispatch(b) }

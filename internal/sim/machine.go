@@ -103,6 +103,15 @@ type Machine struct {
 	threads []*Thread
 	span    topo.Distance // widest distance among spawned threads' cores
 
+	// Arena slabs: threads and commit events are carved out of chunked
+	// slabs owned by the machine, so constructing a machine for one
+	// experiment cell performs a handful of slab allocations instead of
+	// one heap object per thread and per in-flight store. Pointers into
+	// a chunk stay valid because chunks are never reallocated, only new
+	// ones appended.
+	threadArena []Thread
+	evArena     []event
+
 	events  eventHeap
 	eventSq uint64
 	freeEv  []*event // recycled commit events (see newEvent/recycle)
@@ -297,7 +306,27 @@ func (m *Machine) apply(ev *event) {
 // guards against pathological configurations.
 const maxFreeEvents = 1024
 
-// newEvent takes a commit event off the free list, or allocates one.
+// threadChunk and eventChunk size the arena slabs. Thread slabs cover
+// the common machine shapes (2-thread models, small lock sweeps) in
+// one allocation; event slabs amortize the pre-freelist warmup of the
+// commit pipeline.
+const (
+	threadChunk = 8
+	eventChunk  = 32
+)
+
+// threadSlot carves one thread out of the machine's arena.
+func (m *Machine) threadSlot() *Thread {
+	if len(m.threadArena) == 0 {
+		m.threadArena = make([]Thread, threadChunk)
+	}
+	t := &m.threadArena[0]
+	m.threadArena = m.threadArena[1:]
+	return t
+}
+
+// newEvent takes a commit event off the free list, or carves a fresh
+// one out of the machine's arena.
 //
 // armvet:holds mu
 func (m *Machine) newEvent() *event {
@@ -308,7 +337,12 @@ func (m *Machine) newEvent() *event {
 		return e
 	}
 	m.stats.EventAllocs++
-	return &event{} //armvet:ignore allocvet — freelist miss path; EventAllocs counts it
+	if len(m.evArena) == 0 {
+		m.evArena = make([]event, eventChunk) //armvet:ignore allocvet — freelist warmup, one slab per eventChunk fresh events
+	}
+	e := &m.evArena[0]
+	m.evArena = m.evArena[1:]
+	return e
 }
 
 // recycle returns an applied event to the free list.

@@ -57,12 +57,12 @@ type Thread struct {
 	core topo.CoreID
 
 	now           float64
-	buf           *sb.Buffer
-	syncPoint     float64    // invalidations before this are processed: no stale reads older than it
-	storeFloor    float64    // commits of future stores may not precede this
-	lastLoadAt    float64    // completion time of the most recent load
-	prevLoadIssue float64    // issue time of the most recent load (early-binding horizon)
-	lastAddrStore *addrTimes // per-address last scheduled commit (per-location coherence)
+	buf           sb.Buffer // store buffer, embedded: lives in the machine's thread arena
+	syncPoint     float64   // invalidations before this are processed: no stale reads older than it
+	storeFloor    float64   // commits of future stores may not precede this
+	lastLoadAt    float64   // completion time of the most recent load
+	prevLoadIssue float64   // issue time of the most recent load (early-binding horizon)
+	lastAddrStore addrTimes // per-address last scheduled commit (per-location coherence)
 
 	finished bool
 	stats    ThreadStats
@@ -78,15 +78,19 @@ type Thread struct {
 	wake chan struct{}
 }
 
+// newThread initializes a thread in place in the machine's arena: the
+// store buffer and the per-address commit table are embedded values
+// with inline backing, so spawning a thread costs one slab slot plus
+// its wake channel instead of four separate heap objects.
 func newThread(m *Machine, id int, core topo.CoreID) *Thread {
-	return &Thread{
-		m:             m,
-		id:            id,
-		core:          core,
-		buf:           sb.New(m.cost.StoreBufferEntries, m.cfg.Mode == TSO),
-		lastAddrStore: newAddrTimes(),
-		wake:          make(chan struct{}, 1),
-	}
+	t := m.threadSlot()
+	t.m = m
+	t.id = id
+	t.core = core
+	t.buf.Init(m.cost.StoreBufferEntries, m.cfg.Mode == TSO)
+	t.lastAddrStore.init()
+	t.wake = make(chan struct{}, 1)
+	return t
 }
 
 // run executes the user closure and signals completion.
@@ -254,7 +258,7 @@ func (m *Machine) process(r *request) bool {
 			t.now = need
 			return false
 		}
-		r.result = m.doRMW(t, r)
+		r.result = m.doRMW(t, r.kind, r.addr, r.value, r.value2)
 		m.emit(t, TraceRMW, r.addr, start, t.now, "")
 	default:
 		badOp(r.kind)
@@ -269,13 +273,13 @@ func (m *Machine) process(r *request) bool {
 // operation applies to the committed value at the op's processing
 // point — the linearization order is the deterministic global
 // start-time order. The release half (waiting out the store buffer)
-// happened in process() via clock-advance-and-retry.
+// happened in the caller via clock-advance-and-retry.
 //
 // armvet:holds mu
-func (m *Machine) doRMW(t *Thread, r *request) uint64 {
-	old := m.dir.Committed(r.addr)
+func (m *Machine) doRMW(t *Thread, kind opKind, addr, value, value2 uint64) uint64 {
+	old := m.dir.Committed(addr)
 	commitAt := t.now + 1
-	d := m.dir.AccessDistance(t.core, r.addr)
+	d := m.dir.AccessDistance(t.core, addr)
 	t.now += m.cost.MissLatency(d) + 2
 	// Acquire: later loads see at least this point.
 	t.syncPoint = t.now
@@ -285,26 +289,26 @@ func (m *Machine) doRMW(t *Thread, r *request) uint64 {
 	t.stats.Stores++
 	m.stats.Loads++
 	m.stats.Stores++
-	if m.dir.IsRMR(t.core, r.addr) {
+	if m.dir.IsRMR(t.core, addr) {
 		t.stats.RMRStores++
 		m.stats.RMRStores++
 	}
 	var result uint64
-	switch r.kind {
+	switch kind {
 	case opFetchAdd:
-		m.dir.CommitStore(t.core, r.addr, old+r.value, commitAt, m.invProc())
+		m.dir.CommitStore(t.core, addr, old+value, commitAt, m.invProc())
 		result = old
 	case opSwap:
-		m.dir.CommitStore(t.core, r.addr, r.value, commitAt, m.invProc())
+		m.dir.CommitStore(t.core, addr, value, commitAt, m.invProc())
 		result = old
 	case opCAS:
-		if old == r.value {
-			m.dir.CommitStore(t.core, r.addr, r.value2, commitAt, m.invProc())
+		if old == value {
+			m.dir.CommitStore(t.core, addr, value2, commitAt, m.invProc())
 			result = 1
 		}
 	}
-	if c := t.lastAddrStore.get(r.addr); commitAt > c {
-		t.lastAddrStore.put(r.addr, commitAt)
+	if c := t.lastAddrStore.get(addr); commitAt > c {
+		t.lastAddrStore.put(addr, commitAt)
 	}
 	return result
 }

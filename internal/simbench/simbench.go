@@ -4,6 +4,12 @@
 // scripts/bench_snapshot.sh freezes into BENCH_sim.json) and the
 // in-process `armbar perfcheck` regression gate, which reruns them via
 // testing.Benchmark and compares against that snapshot.
+//
+// The workload bodies respect the process-wide engine default: under
+// the compiled engine (the default) each body is lowered to a micro-op
+// program, so the snapshot measures the path the figure generators
+// actually take. `armbar perfcheck` flips the default to measure both
+// engines and print their ratio.
 package simbench
 
 import (
@@ -12,7 +18,9 @@ import (
 	"armbar/internal/cellcache"
 	"armbar/internal/isa"
 	"armbar/internal/platform"
+	"armbar/internal/prog"
 	"armbar/internal/sim"
+	"armbar/internal/topo"
 )
 
 // Bench names one microbenchmark. Name matches the wrapper benchmark
@@ -28,24 +36,48 @@ var Benches = []Bench{
 	{"BenchmarkRendezvousTwoThreads", RendezvousTwoThreads},
 	{"BenchmarkStoreCommit", StoreCommit},
 	{"BenchmarkStoreDMBFull", StoreDMBFull},
+	{"BenchmarkCompiledDispatch", CompiledDispatch},
 	{"BenchmarkCellCacheHit", CellCacheHit},
+}
+
+func newBenchMachine() *sim.Machine {
+	return sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+}
+
+// spawnLoop starts a thread running n iterations of the given body on
+// whichever engine is the process default: compiled engines get the
+// body lowered once into a counted-loop program, the interpreted
+// engine replays the Thread calls per iteration. Both issue the
+// identical machine-visible op sequence.
+func spawnLoop(m *sim.Machine, core topo.CoreID, n int,
+	lower func(b *prog.Builder, i int), interp func(t *sim.Thread, i int)) {
+	if sim.EngineDefault.Resolve() == sim.EngineCompiled {
+		b := prog.NewBuilder(platform.Kunpeng916().Cost.IssueWidth)
+		i := b.Loop(n)
+		lower(b, i)
+		b.EndLoop()
+		m.SpawnProgram(core, b.MustBuild())
+		return
+	}
+	m.Spawn(core, func(t *sim.Thread) {
+		for i := 0; i < n; i++ {
+			interp(t, i)
+		}
+	})
 }
 
 // RendezvousLoadHit is the floor of a simulated operation: cache-hit
 // loads with nothing in flight, so the measured cost is one pass
 // through the direct-dispatch scheduler (the solo fast path — a mutex
-// acquire and an inline process call) plus the load bookkeeping. The
-// name predates the scheduler rewrite and is kept so snapshots stay
-// comparable across engine generations.
+// acquire and an inline process call, or one compiled dispatch) plus
+// the load bookkeeping. The name predates the scheduler rewrite and is
+// kept so snapshots stay comparable across engine generations.
 func RendezvousLoadHit(b *testing.B) {
-	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	m := newBenchMachine()
 	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *sim.Thread) {
-		for i := 0; i < n; i++ {
-			t.Load(addr)
-		}
-	})
+	spawnLoop(m, 0, b.N,
+		func(pb *prog.Builder, i int) { pb.Load(prog.Abs(addr)) },
+		func(t *sim.Thread, i int) { t.Load(addr) })
 	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run()
@@ -55,18 +87,15 @@ func RendezvousLoadHit(b *testing.B) {
 // operation also pays the scheduler's min-(time, id) pick and, when
 // service alternates, the park/grant handoff between goroutines.
 func RendezvousTwoThreads(b *testing.B) {
-	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	m := newBenchMachine()
 	a1, a2 := m.Alloc(1), m.Alloc(1)
 	n := b.N / 2
-	body := func(addr uint64) func(*sim.Thread) {
-		return func(t *sim.Thread) {
-			for i := 0; i < n; i++ {
-				t.Load(addr)
-			}
-		}
+	for k, addr := range []uint64{a1, a2} {
+		addr := addr
+		spawnLoop(m, topo.CoreID(4*k), n,
+			func(pb *prog.Builder, i int) { pb.Load(prog.Abs(addr)) },
+			func(t *sim.Thread, i int) { t.Load(addr) })
 	}
-	m.Spawn(0, body(a1))
-	m.Spawn(4, body(a2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run()
@@ -74,17 +103,54 @@ func RendezvousTwoThreads(b *testing.B) {
 
 // StoreCommit drives the buffered-store path end to end: issue into
 // the store buffer, schedule the commit event, drain it through the
-// event heap, apply it to the directory. With the event free list this
-// allocates nothing per store in steady state.
+// event heap, apply it to the directory. With the event free list and
+// the arena-backed machine state this allocates nothing per store in
+// steady state.
 func StoreCommit(b *testing.B) {
-	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
+	m := newBenchMachine()
 	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *sim.Thread) {
-		for i := 0; i < n; i++ {
+	spawnLoop(m, 0, b.N,
+		func(pb *prog.Builder, i int) { pb.Store(prog.Abs(addr), prog.Counter(i)) },
+		func(t *sim.Thread, i int) { t.Store(addr, uint64(i)) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// StoreDMBFull alternates a store with a full barrier, the paper's
+// fenced-stream pattern: every barrier waits out the pending commit
+// through the ACE fabric model.
+func StoreDMBFull(b *testing.B) {
+	m := newBenchMachine()
+	addr := m.Alloc(1)
+	spawnLoop(m, 0, b.N,
+		func(pb *prog.Builder, i int) {
+			pb.Store(prog.Abs(addr), prog.Counter(i))
+			pb.Barrier(isa.DMBFull)
+		},
+		func(t *sim.Thread, i int) {
 			t.Store(addr, uint64(i))
-		}
-	})
+			t.Barrier(isa.DMBFull)
+		})
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// CompiledDispatch measures the compiled engine's dispatch loop in
+// isolation — always a program, regardless of the engine default: a
+// solo counted loop of cache-hit loads runs entirely inside execSolo,
+// so the per-op cost is one opExec table call plus the load
+// bookkeeping and the free LoopEnd fold. allocvet pins every function
+// on this path; the snapshot pins it at 0 allocs/op.
+func CompiledDispatch(b *testing.B) {
+	m := newBenchMachine()
+	addr := m.Alloc(1)
+	pb := prog.NewBuilder(platform.Kunpeng916().Cost.IssueWidth)
+	pb.Loop(b.N)
+	pb.Load(prog.Abs(addr))
+	pb.EndLoop()
+	m.SpawnProgram(0, pb.MustBuild())
 	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run()
@@ -112,22 +178,4 @@ func CellCacheHit(b *testing.B) {
 			b.Fatal("cache miss on a seeded key")
 		}
 	}
-}
-
-// StoreDMBFull alternates a store with a full barrier, the paper's
-// fenced-stream pattern: every barrier waits out the pending commit
-// through the ACE fabric model.
-func StoreDMBFull(b *testing.B) {
-	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Seed: 1, MaxTime: 1e18})
-	addr := m.Alloc(1)
-	n := b.N
-	m.Spawn(0, func(t *sim.Thread) {
-		for i := 0; i < n; i++ {
-			t.Store(addr, uint64(i))
-			t.Barrier(isa.DMBFull)
-		}
-	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	m.Run()
 }
