@@ -3,12 +3,13 @@ GO ?= go
 # The verify chain is what CI (and any contributor) runs before a
 # merge: full build, vet, the armvet static-analysis suite, the whole
 # test suite, the concurrency packages again under the race detector
-# (including the simulator's direct-dispatch scheduler), then the
-# perf-regression gate against the committed BENCH_sim.json.
-# `-run 'Test'` keeps the race pass on the (fast) unit tests rather
-# than the benchmarks.
+# (including the simulator's direct-dispatch scheduler), the
+# cycle-attribution conservation invariant over the fast golden
+# subset, then the perf-regression gate against the committed
+# BENCH_sim.json. `-run 'Test'` keeps the race pass on the (fast)
+# unit tests rather than the benchmarks.
 .PHONY: verify
-verify: build vet lint test race cachecheck perfcheck
+verify: build vet lint test race profilecheck cachecheck perfcheck
 
 .PHONY: build
 build:
@@ -19,7 +20,7 @@ vet:
 	$(GO) vet ./...
 
 # Static-analysis gate: the armvet pass suite (determvet, lockvet,
-# atomicvet, allocvet) must run clean over the module. Suppress a
+# atomicvet, allocvet, metricvet) must run clean over the module. Suppress a
 # deliberate violation with //armvet:ignore <pass> and a reason.
 .PHONY: lint
 lint:
@@ -31,7 +32,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race -run Test ./internal/runner ./internal/core ./internal/sim ./internal/sb
+	$(GO) test -race -run Test ./internal/runner ./internal/core ./internal/sim ./internal/sb ./internal/progress ./internal/serve
 
 # Full determinism sweep: every registered experiment, sequential vs
 # -par 8, two seeds. Minutes of wall clock; run before merging
@@ -46,6 +47,21 @@ determinism:
 .PHONY: cachecheck
 cachecheck:
 	./scripts/cache_check.sh
+
+# Cycle-attribution conservation gate: with profiling enabled, every
+# simulated cycle of the fast golden subset must land in exactly one
+# cause bucket (zero gaps, attributed == engine cycles) under both
+# engines at two seeds — and the rendered output must still hash to
+# the committed golden digest.
+.PHONY: profilecheck
+profilecheck:
+	$(GO) test -run 'TestProfileConservation' -timeout 30m ./internal/sim ./internal/figures
+
+# Live-observability smoke: run `-quick` with -serve against a cold
+# cache and curl /healthz, /metrics and /progress while it runs.
+.PHONY: serve-smoke
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Simulator hot-path microbenchmarks (rendezvous, store commit, DMB,
 # cache lookup).

@@ -19,8 +19,13 @@
 // stdout, after the tables); -metrics-prom selects Prometheus text
 // instead; -trace-out writes a merged Chrome/Perfetto trace of the
 // simulated machines; -manifest writes a run manifest (also written as
-// manifest.json into the -o directory). perfcheck reruns the hot-path
-// microbenchmarks and fails when they regress against BENCH_sim.json.
+// manifest.json into the -o directory). -serve :PORT runs the embedded
+// observability server (/healthz, /metrics, /progress, /profile,
+// /debug/pprof) for the duration of the run, and `armbar watch` polls
+// it from another terminal. -profile-out writes the cycle-attribution
+// profile as folded stacks for flamegraph tooling. perfcheck reruns
+// the hot-path microbenchmarks and fails when they regress against
+// BENCH_sim.json.
 package main
 
 import (
@@ -31,13 +36,16 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"time"
 
 	"armbar/internal/cellcache"
 	"armbar/internal/figures"
 	"armbar/internal/metrics"
+	"armbar/internal/progress"
 	"armbar/internal/runner"
+	"armbar/internal/serve"
 	"armbar/internal/sim"
 	"armbar/internal/trace"
 )
@@ -54,6 +62,11 @@ var (
 
 	engineName = flag.String("engine", "compiled",
 		"simulation engine: compiled (precompiled micro-op programs, the default) or interp (original closure bodies); outputs are byte-identical")
+
+	serveAddr = flag.String("serve", "",
+		"run the observability HTTP server on this address for the duration of the run (e.g. :8377; exposes /healthz /metrics /progress /profile /debug/pprof)")
+	profileOut = flag.String("profile-out", "",
+		"write the cycle-attribution profile as folded stacks (flamegraph.pl / speedscope input) to this file")
 
 	metricsOut  = flag.String("metrics", "", "write run metrics as JSON to this file (\"-\" = stdout, after the tables)")
 	metricsProm = flag.Bool("metrics-prom", false, "write -metrics output in Prometheus text format instead of JSON")
@@ -113,7 +126,9 @@ type manifest struct {
 	Experiments []figures.ExperimentRun `json:"experiments"`
 	MetricsFile string                  `json:"metrics_file,omitempty"`
 	TraceFile   string                  `json:"trace_file,omitempty"`
+	ProfileFile string                  `json:"profile_file,omitempty"`
 	Cache       *cellcache.Stats        `json:"cache,omitempty"`
+	Profile     *sim.ProfileReport      `json:"profile,omitempty"`
 }
 
 // gitRevision reads the VCS revision stamped into the binary, falling
@@ -157,6 +172,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "cache" {
 		os.Exit(cacheMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(watchMain(os.Args[2:]))
+	}
 	flag.Parse()
 	engine, err := sim.ParseEngine(*engineName)
 	if err != nil {
@@ -168,6 +186,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: armbar [-quick] [-seed N] [-par N] [-csv] [-engine compiled|interp] [-cache=off] <experiment> [...]\n")
 		fmt.Fprintf(os.Stderr, "       armbar perfcheck [-snapshot BENCH_sim.json]\n")
 		fmt.Fprintf(os.Stderr, "       armbar cache [stats|gc|clear] [-dir .armbar-cache]\n")
+		fmt.Fprintf(os.Stderr, "       armbar watch [-addr http://127.0.0.1:8377] [-interval 1s] [-once]\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(figures.Names(), " "))
 		os.Exit(2)
 	}
@@ -187,12 +206,19 @@ func main() {
 		args = []string{"table2"}
 	}
 
-	// Observability sinks. Both hooks are installed before any machine
-	// is built and cost nothing when their flags are unset.
+	// Observability sinks. All hooks are installed before any machine
+	// is built and cost nothing when their flags are unset. -serve
+	// implies a registry (it has a /metrics endpoint to feed) and a
+	// profile collector; -profile-out implies just the collector.
 	var reg *metrics.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		reg = metrics.NewRegistry()
 		sim.SetGlobalMetrics(reg)
+	}
+	var profc *sim.ProfileCollector
+	if *serveAddr != "" || *profileOut != "" {
+		profc = sim.NewProfileCollector()
+		sim.SetGlobalProfile(profc)
 	}
 	var collector *trace.Collector
 	if *traceOut != "" {
@@ -219,12 +245,31 @@ func main() {
 		})
 	}
 
+	// Live observability plane: the progress tracker feeds /progress
+	// through the pool's cell hooks, and the HTTP server reads all
+	// sinks for the duration of the run.
+	var tracker *progress.Tracker
+	var server *serve.Server
+	if *serveAddr != "" {
+		tracker = progress.New(args)
+		server = serve.New(serve.Options{Registry: reg, Profile: profc, Tracker: tracker})
+		bound, err := server.Start(*serveAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "# serve    listening on http://%s (healthz, metrics, progress, profile, debug/pprof)\n", bound)
+	}
+
 	// One pool for the whole invocation; -par 1 keeps cells inline on
 	// this goroutine so the sequential baseline spawns no workers.
 	var pool *runner.Pool
 	if *par != 1 {
 		pool = runner.New(*par)
 		pool.SetMetrics(reg) // nil-safe: dark without -metrics
+		if tracker != nil {
+			pool.SetProgress(tracker)
+		}
 		defer pool.Close()
 	}
 	o := figures.Options{Quick: *quick, Seed: *seed, Pool: pool}
@@ -266,7 +311,13 @@ func main() {
 				name, strings.Join(figures.Names(), " "))
 			os.Exit(2)
 		}
+		if tracker != nil {
+			tracker.StartExperiment(name)
+		}
 		tables, run := figures.RunInstrumented(exp, o, reg)
+		if tracker != nil {
+			tracker.FinishExperiment(name, run.Cells, run.CacheHits, run.WallSeconds)
+		}
 		man.Experiments = append(man.Experiments, run)
 		if *times {
 			fmt.Fprintf(os.Stderr, "# %-8s %2d table(s) in %v\n", name, len(tables),
@@ -306,13 +357,35 @@ func main() {
 	// then a no-op. The cache closes next so its shard files and index
 	// are durable before the manifest records its final stats.
 	pool.Close()
+	if tracker != nil {
+		tracker.Finish()
+	}
 	if cache != nil {
 		cache.Close()
 		st := cache.Stats()
 		man.Cache = &st
 	}
 
-	if reg != nil {
+	if profc != nil {
+		p := profc.Snapshot()
+		rep := p.Report()
+		man.Profile = &rep
+		if reg != nil {
+			// Final fold so a -metrics file carries the profile gauges the
+			// /metrics endpoint refreshed per scrape.
+			p.MetricsInto(reg)
+		}
+		if *profileOut != "" {
+			if err := writeFoldedStacks(man, *profileOut); err != nil {
+				fail("%v", err)
+			}
+			man.ProfileFile = *profileOut
+			fmt.Fprintf(os.Stderr, "# profile  %s: %d cause(s) across %d machine(s), %d gap(s) — fold with flamegraph.pl or load into speedscope\n",
+				*profileOut, len(rep.Causes), rep.Machines, rep.Gaps)
+		}
+	}
+
+	if reg != nil && *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut, *metricsProm); err != nil {
 			fail("%v", err)
 		}
@@ -340,6 +413,36 @@ func main() {
 			fail("%v", err)
 		}
 	}
+}
+
+// writeFoldedStacks renders the per-experiment attribution rollup in
+// the folded-stacks format flamegraph tooling consumes: one line per
+// stack ("armbar;<experiment>;<cause>") weighted by simulated cycles.
+// Cause rows are emitted in sorted order so the file is deterministic
+// for a given run.
+func writeFoldedStacks(man manifest, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, run := range man.Experiments {
+		names := make([]string, 0, len(run.ProfileCycles))
+		for name := range run.ProfileCycles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cyc := run.ProfileCycles[name]
+			if cyc <= 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(f, "armbar;%s;%s %d\n", run.Name, name, int64(cyc+0.5)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	return f.Close()
 }
 
 func writeMetrics(reg *metrics.Registry, dest string, prom bool) error {

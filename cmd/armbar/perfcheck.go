@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"testing"
 
 	"armbar/internal/perfgate"
@@ -25,8 +26,10 @@ func perfcheckMain(argv []string) int {
 	improve := fs.Float64("improve-threshold", 1.5, "fail when ns/op improves beyond this ratio (stale snapshot; 0 disables)")
 	runs := fs.Int("runs", 3, "repetitions per benchmark; the fastest repetition is compared (noise guard)")
 	handicap := fs.Float64("handicap", 1, "multiply measured ns/op — inject a synthetic slowdown to demonstrate the gate")
+	history := fs.String("history", "BENCH_history.jsonl", "benchmark history (JSONL of snapshots); shown when present, \"\" disables")
+	historyN := fs.Int("history-n", 5, "history entries to show")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: armbar perfcheck [-snapshot file] [-threshold x] [-improve-threshold x] [-runs n] [-handicap x]\n")
+		fmt.Fprintf(fs.Output(), "usage: armbar perfcheck [-snapshot file] [-threshold x] [-improve-threshold x] [-runs n] [-handicap x] [-history file] [-history-n n]\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(argv)
@@ -41,6 +44,20 @@ func perfcheckMain(argv []string) int {
 	if snap.ColdWallSeconds > 0 && snap.WarmWallSeconds > 0 {
 		fmt.Fprintf(os.Stderr, "# snapshot result-cache context: `-quick all` cold %.1fs, warm %.1fs (%.0f%% of cold)\n",
 			snap.ColdWallSeconds, snap.WarmWallSeconds, 100*snap.WarmWallSeconds/snap.ColdWallSeconds)
+	}
+	// Baseline drift context: how the committed snapshot itself moved
+	// across regenerations. Informational — history entries predate the
+	// working tree, so only the snapshot comparison below is gated.
+	if *history != "" {
+		if snaps, err := perfgate.LoadHistory(*history, *historyN); err == nil {
+			fmt.Fprintf(os.Stderr, "# snapshot history (%s, last %d of the file):\n", *history, len(snaps))
+			for _, line := range strings.Split(strings.TrimRight(perfgate.HistoryTable(snaps), "\n"), "\n") {
+				fmt.Fprintf(os.Stderr, "#   %s\n", line)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "perfcheck: history: %v\n", err)
+			return 1
+		}
 	}
 	if snap.InterpColdWallSeconds > 0 && snap.ColdWallSeconds > 0 {
 		fmt.Fprintf(os.Stderr, "# snapshot engine context: `-quick all` cold interp %.1fs vs compiled %.1fs (%.2fx)\n",

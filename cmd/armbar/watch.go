@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"armbar/internal/progress"
+)
+
+// watchMain implements `armbar watch`: poll a running armbar's -serve
+// /progress endpoint and render the live run state block by block (no
+// terminal control codes — the output pipes and logs cleanly). The
+// watch exits 0 when the watched run reports done, and 1 when the
+// server becomes unreachable (the run exited, taking its server with
+// it, or was never started with -serve).
+func watchMain(argv []string) int {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8377",
+		"base URL of the armbar -serve endpoint (host:port also accepted)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: armbar watch [-addr http://127.0.0.1:8377] [-interval 1s] [-once]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(argv)
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	failures := 0
+	for {
+		rep, err := fetchProgress(client, base+"/progress")
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "armbar watch: %v\n", err)
+			// One transient failure is forgiven (the run may be between
+			// bind and first experiment); two in a row means gone.
+			if *once || failures >= 2 {
+				return 1
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		failures = 0
+		fmt.Print(rep.String())
+		if *once {
+			return 0
+		}
+		if rep.State == progress.StateDone {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchProgress reads one /progress document.
+func fetchProgress(client *http.Client, url string) (progress.Report, error) {
+	var rep progress.Report
+	resp, err := client.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", url, err)
+	}
+	return rep, nil
+}

@@ -1,5 +1,5 @@
 // Command armvet runs the armbar static-analysis suite (determvet,
-// lockvet, atomicvet, allocvet) over package patterns and exits
+// lockvet, atomicvet, allocvet, metricvet) over package patterns and exits
 // nonzero if any finding survives //armvet:ignore suppression.
 //
 //	armvet ./...          # what make lint runs

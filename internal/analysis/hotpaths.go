@@ -106,6 +106,14 @@ var HotPathFuncs = map[string]bool{
 	"armbar/internal/sim.storeStall":           true,
 	"armbar/internal/sim.rmwStall":             true,
 
+	// Cycle-attribution profiler (internal/sim/profile.go): every
+	// clock advance in both engines funnels through these, profiled
+	// or dark, so they must never allocate.
+	"armbar/internal/sim.Thread.advBy":  true,
+	"armbar/internal/sim.Thread.advTo":  true,
+	"armbar/internal/sim.Thread.attrBy": true,
+	"armbar/internal/sim.Thread.attrTo": true,
+
 	// Event queue and last-store table (event.go, addrmap.go).
 	"armbar/internal/sim.eventHeap.len":  true,
 	"armbar/internal/sim.eventHeap.min":  true,

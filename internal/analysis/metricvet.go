@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricVet enforces the metric naming discipline at every
+// metrics.Registry registration site (Counter, Gauge, Histogram) and
+// metrics.Labeled call:
+//
+//   - The bare metric name (the part before any literal label set)
+//     must be resolvable at compile time: a constant expression, a
+//     concatenation whose constant left prefix already contains '{'
+//     (only label data is dynamic), an fmt.Sprintf whose constant
+//     format puts every verb inside the label set, or metrics.Labeled
+//     with a resolvable first argument. Runtime-built bare names
+//     cannot be grepped, dashboarded, or deduplicated — the profiler's
+//     cause names are package-level constants for the same reason.
+//   - The bare name must be Prometheus-conventional snake_case:
+//     ^[a-z][a-z0-9]*(_[a-z0-9]+)*$.
+//   - Within a package, one bare name registers exactly one instrument
+//     kind: re-registering a counter family as a gauge (or histogram)
+//     silently forks the time series.
+//
+// Update sites reusing a family name (the registry's get-or-create
+// API) are indistinguishable from registration and are held to the
+// same rules — which is the point: every site stays resolvable.
+var MetricVet = &Analyzer{
+	Name: "metricvet",
+	Doc:  "enforce constant-resolvable snake_case metric names registered as exactly one instrument kind",
+	Run:  runMetricVet,
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runMetricVet(pass *Pass) (interface{}, error) {
+	type family struct {
+		kind string
+		pos  token.Pos
+	}
+	families := map[string]family{}
+	// A Labeled call used directly as a registration's name argument is
+	// checked through the registration; remembering it avoids a second,
+	// duplicate diagnostic when the walk reaches the inner call.
+	claimed := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind, ok := metricRegistration(pass, call)
+			if !ok {
+				return true
+			}
+			if kind == "Labeled" && claimed[call] {
+				return true
+			}
+			if kind != "Labeled" {
+				claimed[ast.Unparen(call.Args[0])] = true
+			}
+			bare, ok := bareMetricName(pass, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to %s is not constant-resolvable; build it from package-level constants (dynamic data belongs in labels, e.g. metrics.Labeled)", kind)
+				return true
+			}
+			if !metricNameRe.MatchString(bare) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q is not snake_case (want %s)", bare, metricNameRe)
+				return true
+			}
+			if kind == "Labeled" {
+				return true // a name builder, not a registration
+			}
+			if prev, seen := families[bare]; seen && prev.kind != kind {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric %q already registered as a %s in this package; re-registering as a %s forks the family", bare, prev.kind, kind)
+				return true
+			} else if !seen {
+				families[bare] = family{kind: kind, pos: call.Args[0].Pos()}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// metricRegistration classifies a call as a metrics.Registry
+// registration ("Counter", "Gauge", "Histogram") or a
+// metrics.Labeled name construction ("Labeled"). Matching is by
+// package and receiver name rather than import path so fixtures and
+// future package moves keep working.
+func metricRegistration(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "metrics" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+		recv := sig.Recv()
+		if recv == nil {
+			return "", false
+		}
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Registry" {
+			return "", false
+		}
+		return fn.Name(), true
+	case "Labeled":
+		return "Labeled", sig.Recv() == nil
+	}
+	return "", false
+}
+
+// bareMetricName resolves the bare (pre-label-set) metric name of a
+// name expression, reporting failure when the bare part depends on
+// runtime data.
+func bareMetricName(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	// Fully constant — literal, named const, or constant concatenation.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return bareOfMetric(constant.StringVal(tv.Value)), true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		// Concatenation with dynamic pieces: fine as long as the
+		// constant left prefix already opened the label set.
+		if x.Op != token.ADD {
+			return "", false
+		}
+		left := x
+		for {
+			inner, ok := ast.Unparen(left.X).(*ast.BinaryExpr)
+			if !ok || inner.Op != token.ADD {
+				break
+			}
+			left = inner
+		}
+		tv, ok := pass.TypesInfo.Types[ast.Unparen(left.X)]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		prefix := constant.StringVal(tv.Value)
+		if !strings.Contains(prefix, "{") {
+			return "", false
+		}
+		return bareOfMetric(prefix), true
+	case *ast.CallExpr:
+		fn := calleeOf(pass, x)
+		if fn == nil || fn.Pkg() == nil || len(x.Args) == 0 {
+			return "", false
+		}
+		if fn.Pkg().Name() == "metrics" && fn.Name() == "Labeled" {
+			return bareMetricName(pass, x.Args[0])
+		}
+		if fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" {
+			tv, ok := pass.TypesInfo.Types[ast.Unparen(x.Args[0])]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return "", false
+			}
+			format := constant.StringVal(tv.Value)
+			brace := strings.IndexByte(format, '{')
+			verb := strings.IndexByte(format, '%')
+			if verb >= 0 && (brace < 0 || verb < brace) {
+				return "", false // a verb lands in the bare name
+			}
+			return bareOfMetric(format), true
+		}
+	}
+	return "", false
+}
+
+// bareOfMetric mirrors the exporter's bareName: the family is
+// everything before a literal label set.
+func bareOfMetric(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

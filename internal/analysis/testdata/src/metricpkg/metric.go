@@ -1,0 +1,43 @@
+// Package metricpkg is the metricvet fixture: registration sites with
+// constant-resolvable snake_case names pass; runtime-built bare names,
+// case violations, and cross-kind re-registration are flagged. It uses
+// the real metrics package so receiver matching is exercised against
+// the type metricvet guards in production.
+package metricpkg
+
+import (
+	"fmt"
+
+	"armbar/internal/metrics"
+)
+
+const opsTotal = "ops_total"
+
+const causeLabel = `attr_cycles{cause="`
+
+func good(reg *metrics.Registry, exp string, cause string) {
+	reg.Counter(opsTotal).Inc()
+	reg.Counter("plain_total").Inc()
+	reg.Counter(opsTotal + "_more").Inc() // constant concatenation
+	reg.Gauge(metrics.Labeled("labeled_gauge", "exp", exp)).Set(1)
+	reg.Gauge(causeLabel + cause + `"}`).Set(1) // constant prefix opens the label set
+	reg.Gauge(fmt.Sprintf(`fmt_gauge{exp=%q}`, exp)).Set(1)
+	reg.Histogram("lat_cycles", []float64{1}).Observe(0.5)
+	reg.Counter("plain_total").Add(2) // update site, same kind: fine
+}
+
+func bad(reg *metrics.Registry, name string) {
+	reg.Counter(name).Inc()                             // want `not constant-resolvable`
+	reg.Counter("made_" + name + "_total").Inc()        // want `not constant-resolvable`
+	reg.Gauge(fmt.Sprintf("fmt_%s_gauge", name)).Set(1) // want `not constant-resolvable`
+	reg.Gauge(metrics.Labeled(name, "exp", "x")).Set(1) // want `not constant-resolvable`
+	reg.Gauge("BadGauge").Set(1)                        // want `not snake_case`
+	reg.Gauge("double__bar").Set(1)                     // want `not snake_case`
+	reg.Gauge("trailing_").Set(1)                       // want `not snake_case`
+	_ = metrics.Labeled("Also_Checked", "a", "b")       // want `not snake_case`
+}
+
+func conflict(reg *metrics.Registry) {
+	reg.Counter("family_cycles").Inc()
+	reg.Gauge("family_cycles").Set(1) // want `already registered as a Counter`
+}

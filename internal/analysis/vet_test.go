@@ -54,3 +54,7 @@ func TestBadPkgTripsLockVet(t *testing.T) {
 		t.Fatalf("want a lockvet finding, got %v", f)
 	}
 }
+
+func TestMetricVet(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MetricVet, "metricpkg")
+}

@@ -1,11 +1,11 @@
 package figures
 
 import (
-	"fmt"
 	"time"
 
 	"armbar/internal/metrics"
 	"armbar/internal/report"
+	"armbar/internal/sim"
 )
 
 // ExperimentRun is the observability record of one generated
@@ -18,6 +18,14 @@ type ExperimentRun struct {
 	Cells       int     `json:"cells"`        // simulation cells run through the pool (0 when inline)
 	CacheHits   int     `json:"cache_hits,omitempty"`   // cells served from the result cache
 	CacheMisses int     `json:"cache_misses,omitempty"` // cells simulated (and then stored)
+
+	// ProfileCycles is the experiment's cycle-attribution rollup
+	// (cause name -> simulated cycles), present when a global
+	// sim.ProfileCollector is installed. Cells within one experiment
+	// run concurrently, so the per-experiment delta is the finest
+	// attribution unit available; cached cells never simulate and
+	// contribute nothing (a fully warm experiment profiles empty).
+	ProfileCycles map[string]float64 `json:"profile_cycles,omitempty"`
 }
 
 // cellCacheCounts is the slice of the cache the instrumentation needs:
@@ -41,6 +49,14 @@ func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*repor
 		hits0, misses0 = counts.Counts()
 	}
 	cellsBefore := o.Pool.TasksDone()
+	// Experiments run sequentially (cmd/armbar's loop), so two
+	// snapshots of the cumulative collector bracket exactly this
+	// experiment's machines.
+	var prof0 sim.Profile
+	pc := sim.GlobalProfile()
+	if pc != nil {
+		prof0 = pc.Snapshot()
+	}
 	start := time.Now() //armvet:ignore determvet — wall-time measurement lands in the manifest, never in tables
 	tables := exp.Gen(o)
 	run := ExperimentRun{
@@ -54,6 +70,11 @@ func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*repor
 		run.CacheHits = int(hits1 - hits0)
 		run.CacheMisses = int(misses1 - misses0)
 	}
+	if pc != nil {
+		prof1 := pc.Snapshot()
+		delta := prof1.Sub(prof0)
+		run.ProfileCycles = delta.CyclesByCause()
+	}
 	for _, t := range tables {
 		run.OutputBytes += len(t.CSV())
 	}
@@ -62,9 +83,9 @@ func RunInstrumented(exp Experiment, o Options, reg *metrics.Registry) ([]*repor
 		reg.Counter("figures_tables_total").Add(uint64(run.Tables))
 		reg.Counter("figures_output_bytes_total").Add(uint64(run.OutputBytes))
 		reg.Counter("figures_cells_total").Add(uint64(run.Cells))
-		reg.Gauge(fmt.Sprintf("figures_wall_seconds{exp=%q}", exp.Name)).Set(run.WallSeconds)
-		reg.Gauge(fmt.Sprintf("figures_output_bytes{exp=%q}", exp.Name)).Set(float64(run.OutputBytes))
-		reg.Gauge(fmt.Sprintf("figures_cells{exp=%q}", exp.Name)).Set(float64(run.Cells))
+		reg.Gauge(metrics.Labeled("figures_wall_seconds", "exp", exp.Name)).Set(run.WallSeconds)
+		reg.Gauge(metrics.Labeled("figures_output_bytes", "exp", exp.Name)).Set(float64(run.OutputBytes))
+		reg.Gauge(metrics.Labeled("figures_cells", "exp", exp.Name)).Set(float64(run.Cells))
 	}
 	return tables, run
 }

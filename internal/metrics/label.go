@@ -1,0 +1,48 @@
+package metrics
+
+import "strings"
+
+// labelEscaper implements the Prometheus text exposition format's
+// label-value escaping: backslash, double quote, and line feed. Values
+// are otherwise emitted verbatim (the format is UTF-8).
+var labelEscaper = strings.NewReplacer(
+	`\`, `\\`,
+	`"`, `\"`,
+	"\n", `\n`,
+)
+
+// EscapeLabelValue escapes a label value for embedding in a literal
+// label set.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// Labeled builds a metric name carrying a literal label set from
+// alternating key/value pairs, escaping each value:
+//
+//	Labeled("figures_wall_seconds", "exp", name)
+//
+// is `figures_wall_seconds{exp="<name>"}`. Keys are the caller's
+// responsibility (they are identifiers, not data); values may hold
+// anything. Panics on an odd pair count — that is a programming error
+// at the call site, never data-dependent.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics.Labeled: odd key/value count")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

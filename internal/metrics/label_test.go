@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"fig4", "fig4"},
+		{`path\to`, `path\\to`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{"mixed \\\"\n", `mixed \\\"\n`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("m"); got != "m" {
+		t.Errorf("no pairs: %q", got)
+	}
+	if got := Labeled("m", "exp", "fig4"); got != `m{exp="fig4"}` {
+		t.Errorf("one pair: %q", got)
+	}
+	if got := Labeled("m", "a", "1", "b", `x"y`); got != `m{a="1",b="x\"y"}` {
+		t.Errorf("two pairs with escape: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd pair count must panic")
+		}
+	}()
+	Labeled("m", "dangling")
+}
+
+// TestWritePromEscapedLabels drives a hostile label value end to end:
+// the exposition output must carry the escaped form, one value per
+// line, with the type line using the bare name.
+func TestWritePromEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(Labeled("odd_gauge", "exp", "a\\b\"c\nd")).Set(1)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := `odd_gauge{exp="a\\b\"c\nd"} 1`; !strings.Contains(out, want) {
+		t.Fatalf("escaped series missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE odd_gauge gauge") {
+		t.Fatalf("type line must use the bare name:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("raw newline leaked into exposition output:\n%q", out)
+		}
+	}
+}
+
+// TestWritePromHistogramInfBucket pins the +Inf bucket invariants: it
+// is always emitted (even for an empty histogram), always equals
+// _count, and labeled histograms merge le= into their label set.
+func TestWritePromHistogramInfBucket(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_cycles", []float64{1})
+	h := r.Histogram(Labeled("lat_cycles", "kind", "load"), []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100) // beyond every finite bound: visible only via +Inf
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`empty_cycles_bucket{le="+Inf"} 0`,
+		"empty_cycles_count 0",
+		`lat_cycles_bucket{kind="load",le="1"} 1`,
+		`lat_cycles_bucket{kind="load",le="10"} 1`,
+		`lat_cycles_bucket{kind="load",le="+Inf"} 2`,
+		`lat_cycles_sum{kind="load"} 100.5`,
+		`lat_cycles_count{kind="load"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePromDeterministicOrder renders one registry repeatedly and a
+// permuted-registration twin: the exposition text must be byte-stable
+// and registration-order independent, so /metrics diffs and scrape
+// checksums only move when values move.
+func TestWritePromDeterministicOrder(t *testing.T) {
+	build := func(names []string) string {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter("c_" + n).Add(1)
+			r.Gauge("g_" + n).Set(2)
+			r.Histogram("h_"+n, []float64{1}).Observe(0.5)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	for i := 0; i < 3; i++ {
+		if got := build([]string{"gamma", "alpha", "beta"}); got != a {
+			t.Fatalf("output depends on registration order:\n--- sorted\n%s--- permuted\n%s", a, got)
+		}
+	}
+	// Within each instrument section, families must appear name-sorted.
+	byKind := map[string][]string{}
+	for _, l := range strings.Split(a, "\n") {
+		var name, kind string
+		if n, _ := fmt.Sscanf(l, "# TYPE %s %s", &name, &kind); n == 2 {
+			byKind[kind] = append(byKind[kind], name)
+		}
+	}
+	for kind, names := range byKind {
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("%s families not sorted: %v", kind, names)
+		}
+	}
+}

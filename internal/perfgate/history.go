@@ -1,0 +1,126 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadHistory reads a benchmark history file — one compact Snapshot
+// JSON document per line, appended by scripts/bench_snapshot.sh each
+// time the committed baseline is regenerated — and returns the
+// trailing n entries in file (chronological) order. n <= 0 returns
+// every entry. Unlike Load, a history line may legitimately predate a
+// benchmark that exists today, so the per-line schema is validated but
+// benchmark sets are allowed to differ between lines.
+func LoadHistory(path string, n int) ([]Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []Snapshot
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("perfgate: %s:%d: %w", path, i+1, err)
+		}
+		if len(s.Benchmarks) == 0 {
+			return nil, fmt.Errorf("perfgate: %s:%d holds no benchmarks", path, i+1)
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("perfgate: %s holds no history entries", path)
+	}
+	if n > 0 && len(snaps) > n {
+		snaps = snaps[len(snaps)-n:]
+	}
+	return snaps, nil
+}
+
+// HistoryTable renders snapshots (chronological order, as LoadHistory
+// returns them) as a benchmark-by-date ns/op matrix, with a trend
+// column comparing the newest entry against the oldest. Benchmarks
+// keep the order of their first appearance; entries missing from a
+// snapshot render as "-". A final row tracks the cold-run wall time
+// the same way, when recorded.
+func HistoryTable(snaps []Snapshot) string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, s := range snaps {
+		for _, b := range s.Benchmarks {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				names = append(names, b.Name)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s", "benchmark (ns/op)")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, " %10s", s.Date)
+	}
+	fmt.Fprintf(&b, "  %s\n", "trend")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-32s", name)
+		var first, last float64
+		for _, s := range snaps {
+			ns, ok := findBench(s, name)
+			if !ok {
+				fmt.Fprintf(&b, " %10s", "-")
+				continue
+			}
+			if first == 0 {
+				first = ns
+			}
+			last = ns
+			fmt.Fprintf(&b, " %10.1f", ns)
+		}
+		b.WriteString(trend(first, last))
+		b.WriteByte('\n')
+	}
+	var firstCold, lastCold float64
+	anyCold := false
+	fmt.Fprintf(&b, "%-32s", "cold `-quick all` (s)")
+	for _, s := range snaps {
+		if s.ColdWallSeconds <= 0 {
+			fmt.Fprintf(&b, " %10s", "-")
+			continue
+		}
+		anyCold = true
+		if firstCold == 0 {
+			firstCold = s.ColdWallSeconds
+		}
+		lastCold = s.ColdWallSeconds
+		fmt.Fprintf(&b, " %10.2f", s.ColdWallSeconds)
+	}
+	if anyCold {
+		b.WriteString(trend(firstCold, lastCold))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func findBench(s Snapshot, name string) (float64, bool) {
+	for _, b := range s.Benchmarks {
+		if b.Name == name {
+			return b.NsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+// trend formats newest/oldest as a signed percentage; a single data
+// point has no trend.
+func trend(first, last float64) string {
+	if first <= 0 || last <= 0 || first == last {
+		return ""
+	}
+	return fmt.Sprintf("  %+.1f%%", 100*(last-first)/first)
+}

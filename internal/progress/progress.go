@@ -1,0 +1,244 @@
+// Package progress tracks a run's live state for the observability
+// plane (`armbar -serve` and the `watch` subcommand): which experiments
+// are queued/running/done, how many cells each took, the global cell
+// counters fed by the runner's ProgressSink hooks, throughput, and an
+// ETA. A Tracker is two layers with different synchronization budgets:
+//
+//   - Cell counters are bare atomics because the runner notifies once
+//     per cell from worker goroutines — a few nanoseconds each, cheap
+//     enough to leave on for whole runs.
+//   - Experiment state is mutex-guarded because cmd/armbar drives it
+//     once per experiment, and /progress snapshots it a few times per
+//     second at most.
+//
+// Everything here is wall-clock observability that never reaches table
+// output, so the package is deliberately outside armvet's deterministic
+// set.
+package progress
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Experiment states as reported by /progress.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// Tracker is the run's live state. The zero value is not usable; build
+// one with New.
+type Tracker struct {
+	queued  atomic.Uint64 // cells submitted to the pool
+	started atomic.Uint64 // cells picked up by a worker
+	done    atomic.Uint64 // cells finished by a worker
+	cached  atomic.Uint64 // cells served from the persistent cache
+
+	mu       sync.Mutex
+	start    time.Time
+	finished time.Time // zero while the run is live
+	order    []string
+	exps     map[string]*expState
+}
+
+type expState struct {
+	state     string
+	cells     int
+	cacheHits int
+	wall      float64
+}
+
+// New returns a tracker for a run over the named experiments (in
+// execution order), all initially queued.
+func New(names []string) *Tracker {
+	t := &Tracker{
+		start: time.Now(),
+		exps:  make(map[string]*expState, len(names)),
+	}
+	for _, n := range names {
+		if _, dup := t.exps[n]; dup {
+			continue
+		}
+		t.order = append(t.order, n)
+		t.exps[n] = &expState{state: StateQueued}
+	}
+	return t
+}
+
+// CellQueued implements runner.ProgressSink.
+func (t *Tracker) CellQueued() { t.queued.Add(1) }
+
+// CellStarted implements runner.ProgressSink.
+func (t *Tracker) CellStarted() { t.started.Add(1) }
+
+// CellDone implements runner.ProgressSink.
+func (t *Tracker) CellDone() { t.done.Add(1) }
+
+// CellCached implements runner.ProgressSink.
+func (t *Tracker) CellCached() { t.cached.Add(1) }
+
+// StartExperiment marks the named experiment running. Unknown names
+// are registered on the fly (defensive: the -serve wiring passes the
+// same list the run loop iterates, but a drift must not panic a run).
+func (t *Tracker) StartExperiment(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state(name).state = StateRunning
+}
+
+// FinishExperiment marks the named experiment done and records its
+// cell totals and wall time.
+func (t *Tracker) FinishExperiment(name string, cells, cacheHits int, wallSeconds float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(name)
+	s.state = StateDone
+	s.cells = cells
+	s.cacheHits = cacheHits
+	s.wall = wallSeconds
+}
+
+// Finish marks the whole run complete, freezing the elapsed clock.
+func (t *Tracker) Finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished.IsZero() {
+		t.finished = time.Now()
+	}
+}
+
+// state returns the experiment record, registering stragglers.
+// Caller holds t.mu.
+func (t *Tracker) state(name string) *expState {
+	s, ok := t.exps[name]
+	if !ok {
+		s = &expState{state: StateQueued}
+		t.exps[name] = s
+		t.order = append(t.order, name)
+	}
+	return s
+}
+
+// CellReport is the global cell-state breakdown. Queued counts cells
+// waiting in the pool's submission queue (submitted, not yet picked
+// up); Done and Cached only ever increase, so pollers may rely on
+// Done+Cached being monotone.
+type CellReport struct {
+	Queued  uint64 `json:"queued"`
+	Running uint64 `json:"running"`
+	Done    uint64 `json:"done"`
+	Cached  uint64 `json:"cached"`
+}
+
+// ExperimentReport is one experiment's row in a Report.
+type ExperimentReport struct {
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Cells       int     `json:"cells,omitempty"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Report is the JSON document served at /progress.
+type Report struct {
+	State            string             `json:"state"` // running | done
+	ElapsedSeconds   float64            `json:"elapsed_seconds"`
+	ExperimentsTotal int                `json:"experiments_total"`
+	ExperimentsDone  int                `json:"experiments_done"`
+	Cells            CellReport         `json:"cells"`
+	CellsPerSecond   float64            `json:"cells_per_second"`
+	ETASeconds       float64            `json:"eta_seconds,omitempty"`
+	Experiments      []ExperimentReport `json:"experiments"`
+}
+
+// Snapshot assembles the current Report. The cell counters are read
+// without the lock (they are atomics, and a torn multi-counter view
+// only momentarily misstates the running count), so Snapshot is safe
+// to call at any rate from the serve handlers.
+func (t *Tracker) Snapshot() Report {
+	queued := t.queued.Load()
+	started := t.started.Load()
+	done := t.done.Load()
+	cached := t.cached.Load()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	r := Report{
+		State:            StateRunning,
+		ExperimentsTotal: len(t.order),
+		Cells: CellReport{
+			Queued:  queued - minu(started, queued),
+			Running: started - minu(done, started),
+			Done:    done,
+			Cached:  cached,
+		},
+	}
+	end := time.Now()
+	if !t.finished.IsZero() {
+		r.State = StateDone
+		end = t.finished
+	}
+	r.ElapsedSeconds = end.Sub(t.start).Seconds()
+	if r.ElapsedSeconds > 0 {
+		r.CellsPerSecond = float64(done+cached) / r.ElapsedSeconds
+	}
+
+	var wallDone float64
+	for _, n := range t.order {
+		s := t.exps[n]
+		r.Experiments = append(r.Experiments, ExperimentReport{
+			Name:        n,
+			State:       s.state,
+			Cells:       s.cells,
+			CacheHits:   s.cacheHits,
+			WallSeconds: s.wall,
+		})
+		if s.state == StateDone {
+			r.ExperimentsDone++
+			wallDone += s.wall
+		}
+	}
+	// ETA: per-experiment cell totals are unknown until each finishes,
+	// so extrapolate from the average wall time of completed
+	// experiments. Crude but honest — it converges as the run proceeds
+	// and is omitted (zero) until the first experiment lands.
+	if remaining := r.ExperimentsTotal - r.ExperimentsDone; remaining > 0 && r.ExperimentsDone > 0 && r.State == StateRunning {
+		r.ETASeconds = wallDone / float64(r.ExperimentsDone) * float64(remaining)
+	}
+	return r
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders the report as the `armbar watch` terminal block: a
+// summary line plus one row per experiment.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %d/%d experiments  cells done %d (cached %d, running %d, queued %d)  %.1f cells/s  elapsed %.1fs",
+		r.State, r.ExperimentsDone, r.ExperimentsTotal,
+		r.Cells.Done, r.Cells.Cached, r.Cells.Running, r.Cells.Queued,
+		r.CellsPerSecond, r.ElapsedSeconds)
+	if r.ETASeconds > 0 {
+		fmt.Fprintf(&b, "  eta %.0fs", r.ETASeconds)
+	}
+	b.WriteByte('\n')
+	for _, e := range r.Experiments {
+		fmt.Fprintf(&b, "  %-10s %-8s", e.Name, e.State)
+		if e.State == StateDone {
+			fmt.Fprintf(&b, " %5d cells %4d cached %7.2fs", e.Cells, e.CacheHits, e.WallSeconds)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package progress_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"armbar/internal/progress"
+	"armbar/internal/runner"
+)
+
+func TestExperimentLifecycle(t *testing.T) {
+	tr := progress.New([]string{"fig4", "fig5", "table1"})
+	r := tr.Snapshot()
+	if r.State != progress.StateRunning || r.ExperimentsTotal != 3 || r.ExperimentsDone != 0 {
+		t.Fatalf("fresh tracker: %+v", r)
+	}
+	for _, e := range r.Experiments {
+		if e.State != progress.StateQueued {
+			t.Fatalf("experiment %s born %s", e.Name, e.State)
+		}
+	}
+
+	tr.StartExperiment("fig4")
+	r = tr.Snapshot()
+	if r.Experiments[0].State != progress.StateRunning {
+		t.Fatalf("fig4 not running: %+v", r.Experiments[0])
+	}
+
+	tr.FinishExperiment("fig4", 120, 7, 2.5)
+	r = tr.Snapshot()
+	e := r.Experiments[0]
+	if e.State != progress.StateDone || e.Cells != 120 || e.CacheHits != 7 || e.WallSeconds != 2.5 {
+		t.Fatalf("fig4 after finish: %+v", e)
+	}
+	if r.ExperimentsDone != 1 {
+		t.Fatalf("done count %d", r.ExperimentsDone)
+	}
+	// One of three experiments done: ETA extrapolates to the two left.
+	if r.ETASeconds <= 0 {
+		t.Fatalf("no ETA after first completed experiment: %+v", r)
+	}
+
+	tr.FinishExperiment("fig5", 10, 0, 0.5)
+	tr.FinishExperiment("table1", 10, 0, 0.5)
+	tr.Finish()
+	r = tr.Snapshot()
+	if r.State != progress.StateDone || r.ExperimentsDone != 3 {
+		t.Fatalf("finished run: %+v", r)
+	}
+	if r.ETASeconds != 0 {
+		t.Fatalf("done run still reports ETA %g", r.ETASeconds)
+	}
+}
+
+func TestUnknownExperimentRegistersDefensively(t *testing.T) {
+	tr := progress.New([]string{"a"})
+	tr.StartExperiment("straggler")
+	tr.FinishExperiment("straggler", 1, 0, 0.1)
+	r := tr.Snapshot()
+	if r.ExperimentsTotal != 2 || r.ExperimentsDone != 1 {
+		t.Fatalf("straggler not tracked: %+v", r)
+	}
+}
+
+func TestSinkCountersAndMonotoneDone(t *testing.T) {
+	tr := progress.New(nil)
+	var sink runner.ProgressSink = tr // compile-time interface check
+	for i := 0; i < 5; i++ {
+		sink.CellQueued()
+	}
+	for i := 0; i < 3; i++ {
+		sink.CellStarted()
+	}
+	sink.CellDone()
+	sink.CellCached()
+	r := tr.Snapshot()
+	want := progress.CellReport{Queued: 2, Running: 2, Done: 1, Cached: 1}
+	if r.Cells != want {
+		t.Fatalf("cells %+v, want %+v", r.Cells, want)
+	}
+
+	prev := r.Cells.Done + r.Cells.Cached
+	for i := 0; i < 10; i++ {
+		sink.CellDone()
+		cur := tr.Snapshot().Cells
+		if got := cur.Done + cur.Cached; got < prev {
+			t.Fatalf("done+cached went backwards: %d -> %d", prev, got)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestPoolIntegration(t *testing.T) {
+	tr := progress.New([]string{"it"})
+	pool := runner.New(4)
+	pool.SetProgress(tr)
+	tr.StartExperiment("it")
+
+	// A cache where odd cells hit: done cells and cached cells must
+	// land in their separate counters.
+	cc := &fakeCache{data: map[int][]byte{}}
+	runner.MapCached(pool, cc, "scope", 8, func(i int) int { return i * i })
+	first := tr.Snapshot().Cells
+	runner.MapCached(pool, cc, "scope", 8, func(i int) int { return i * i })
+	pool.Close()
+	tr.FinishExperiment("it", 16, 8, 0.1)
+	tr.Finish()
+
+	r := tr.Snapshot()
+	if first.Done != 8 || first.Cached != 0 {
+		t.Fatalf("cold pass cells: %+v", first)
+	}
+	if r.Cells.Done != 8 || r.Cells.Cached != 8 {
+		t.Fatalf("warm pass cells: %+v", r.Cells)
+	}
+	if r.Cells.Queued != 0 || r.Cells.Running != 0 {
+		t.Fatalf("idle pool still shows in-flight cells: %+v", r.Cells)
+	}
+}
+
+// fakeCache is an in-memory CellCache.
+type fakeCache struct {
+	mu   sync.Mutex
+	data map[int][]byte
+}
+
+func (c *fakeCache) Get(scope string, idx int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.data[idx]
+	return d, ok
+}
+
+func (c *fakeCache) Put(scope string, idx int, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.data[idx]; !ok {
+		c.data[idx] = append([]byte(nil), data...)
+	}
+}
+
+func TestReportJSONAndString(t *testing.T) {
+	tr := progress.New([]string{"fig4"})
+	tr.StartExperiment("fig4")
+	tr.CellQueued()
+	tr.CellStarted()
+	tr.CellDone()
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back progress.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiments[0].Name != "fig4" || back.Cells.Done != 1 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	s := tr.Snapshot().String()
+	if !strings.Contains(s, "fig4") || !strings.Contains(s, "running") {
+		t.Fatalf("String() missing content:\n%s", s)
+	}
+}

@@ -48,6 +48,25 @@ type Pool struct {
 	// the first Submit. Instruments are pre-resolved so the per-task
 	// cost is two time.Now calls and a few atomic adds.
 	obs *poolMetrics // armvet:guardedby mu — set-once; Submit reads it after the SetMetrics happens-before
+
+	// Progress sink (nil when dark): set once via SetProgress before
+	// the first Submit. Per-cell cost is one or two atomic adds in the
+	// sink's implementation.
+	prog ProgressSink // armvet:guardedby mu — set-once; Submit reads it after the SetProgress happens-before
+}
+
+// ProgressSink receives cell lifecycle notifications from a pool: a
+// cell entering the submission queue, a worker picking it up, a worker
+// finishing it, and — from MapCached/GridCached — a cell served from
+// the persistent cache without ever being submitted. Implementations
+// must be safe for concurrent use and fast (the pool calls them
+// inline); internal/progress.Tracker is the production implementation
+// feeding the armbar -serve /progress endpoint.
+type ProgressSink interface {
+	CellQueued()
+	CellStarted()
+	CellDone()
+	CellCached()
 }
 
 // poolMetrics holds the pre-resolved instruments for one pool.
@@ -124,6 +143,28 @@ func (p *Pool) SetMetrics(reg *metrics.Registry) {
 		start:     time.Now(), //armvet:ignore determvet — observability wall clock; never reaches table output
 	}
 	reg.Gauge("runner_workers").Set(float64(p.workers))
+}
+
+// SetProgress starts reporting cell lifecycle events to s. Call before
+// the first Submit; a nil pool or nil sink is a no-op.
+func (p *Pool) SetProgress(s ProgressSink) {
+	if p == nil || s == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prog = s
+}
+
+// noteCached reports a cache-served cell to the progress sink (cached
+// cells bypass Submit entirely, see MapCached).
+func (p *Pool) noteCached() {
+	if p == nil {
+		return
+	}
+	if s := p.prog; s != nil { //armvet:ignore lockvet — set-once before the first Submit; see the field contract
+		s.CellCached()
+	}
 }
 
 // Close stops accepting work and waits for in-flight cells to finish.
@@ -210,15 +251,25 @@ func Submit[T any](p *Pool, fn func() T) *Future[T] {
 		f.run(fn)
 		return f
 	}
-	obs := p.obs //armvet:ignore lockvet — set-once before the first Submit; see the field contract
+	obs := p.obs   //armvet:ignore lockvet — set-once before the first Submit; see the field contract
+	prog := p.prog //armvet:ignore lockvet — set-once before the first Submit; see the field contract
+	if prog != nil {
+		prog.CellQueued()
+	}
 	var submitted time.Time
 	if obs != nil {
 		submitted = time.Now() //armvet:ignore determvet — queue-wait histogram only
 	}
 	p.tasks <- func() {
+		if prog != nil {
+			prog.CellStarted()
+		}
 		if obs == nil {
 			f.run(fn)
 			p.done.Add(1)
+			if prog != nil {
+				prog.CellDone()
+			}
 			return
 		}
 		started := time.Now() //armvet:ignore determvet — service-time histogram only
@@ -229,6 +280,9 @@ func Submit[T any](p *Pool, fn func() T) *Future[T] {
 		obs.service.Observe(d.Seconds())
 		obs.busyNs.Add(uint64(d.Nanoseconds()))
 		obs.tasks.Inc()
+		if prog != nil {
+			prog.CellDone()
+		}
 	}
 	return f
 }

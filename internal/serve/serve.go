@@ -1,0 +1,138 @@
+// Package serve is the embedded observability server behind
+// `armbar -serve :PORT`. It exposes the run's live state over HTTP:
+//
+//	/healthz      liveness ("ok")
+//	/metrics      Prometheus text from the process's metrics registry,
+//	              with the cycle-attribution profile refreshed into it
+//	              on every scrape
+//	/progress     JSON per-experiment and per-cell run state
+//	              (progress.Report)
+//	/profile      JSON cycle-attribution rollup (sim.ProfileReport)
+//	/debug/pprof  the standard Go runtime profiles
+//
+// The server only *reads*: the hot paths publish through the lock-free
+// metrics registry, the profile collector's per-machine fold, and the
+// progress tracker's atomics, so scraping never blocks a simulation
+// and an idle server costs nothing. All sources are optional — absent
+// ones serve zero documents rather than 404s, so dashboards behave the
+// same whichever flags a run was started with.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"armbar/internal/metrics"
+	"armbar/internal/progress"
+	"armbar/internal/sim"
+)
+
+// Options are the data sources the server reads. Any field may be nil.
+type Options struct {
+	Registry *metrics.Registry
+	Profile  *sim.ProfileCollector
+	Tracker  *progress.Tracker
+}
+
+// Server is the embedded HTTP server.
+type Server struct {
+	opts Options
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// New builds a server over the given sources.
+func New(opts Options) *Server {
+	return &Server{opts: opts}
+}
+
+// Handler returns the server's routing table; exposed separately so
+// tests can drive it through httptest without binding a port.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/profile", s.handleProfile)
+	// net/http/pprof registers on http.DefaultServeMux at import; wire
+	// the handlers explicitly so this mux stays self-contained and the
+	// import has no global side effect we rely on.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in the
+// background. It returns the bound address, e.g. "127.0.0.1:8377".
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down, letting in-flight scrapes finish
+// briefly.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.opts.Registry == nil {
+		return
+	}
+	if s.opts.Profile != nil {
+		// Refresh the attribution gauges on every scrape: machines fold
+		// into the collector, not the registry, so this is the bridge.
+		p := s.opts.Profile.Snapshot()
+		p.MetricsInto(s.opts.Registry)
+	}
+	s.opts.Registry.WriteProm(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var rep progress.Report
+	if s.opts.Tracker != nil {
+		rep = s.opts.Tracker.Snapshot()
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var rep sim.ProfileReport
+	if s.opts.Profile != nil {
+		p := s.opts.Profile.Snapshot()
+		rep = p.Report()
+	}
+	writeJSON(w, rep)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

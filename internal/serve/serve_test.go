@@ -1,0 +1,159 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"armbar/internal/metrics"
+	"armbar/internal/platform"
+	"armbar/internal/progress"
+	"armbar/internal/serve"
+	"armbar/internal/sim"
+)
+
+// liveSources builds a server over real sources fed by one small
+// profiled simulation.
+func liveSources(t *testing.T) (*serve.Server, *sim.ProfileCollector) {
+	t.Helper()
+	pc := sim.NewProfileCollector()
+	sim.SetGlobalProfile(pc)
+	t.Cleanup(func() { sim.SetGlobalProfile(nil) })
+
+	reg := metrics.NewRegistry()
+	m := sim.New(sim.Config{Plat: platform.Kunpeng916(), Mode: sim.WMM, Seed: 42})
+	a := m.Alloc(1)
+	m.Spawn(0, func(th *sim.Thread) {
+		for i := uint64(0); i < 20; i++ {
+			th.Store(a, i)
+			th.Work(3)
+		}
+	})
+	m.Run()
+	m.MetricsInto(reg)
+
+	tr := progress.New([]string{"fig4", "fig5"})
+	tr.StartExperiment("fig4")
+	tr.CellQueued()
+	tr.CellStarted()
+	tr.CellDone()
+	tr.FinishExperiment("fig4", 1, 0, 0.2)
+
+	return serve.New(serve.Options{Registry: reg, Profile: pc, Tracker: tr}), pc
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String(), rr.Result().Header
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := liveSources(t)
+	code, body, _ := get(t, s.Handler(), "/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, pc := liveSources(t)
+	code, body, hdr := get(t, s.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q lacks the Prometheus text version", ct)
+	}
+	for _, want := range []string{
+		"sim_machines_total 1",
+		`sim_profile_cycles{cause="work"}`,
+		"sim_profile_gaps 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The profile gauges must track the collector across scrapes.
+	p := pc.Snapshot()
+	if !p.Conserved() {
+		t.Fatal("source profile not conserved")
+	}
+	_, body2, _ := get(t, s.Handler(), "/metrics")
+	if body2 != body {
+		t.Error("idle rescrape changed /metrics output")
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	s, _ := liveSources(t)
+	code, body, hdr := get(t, s.Handler(), "/progress")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("progress: %d %q", code, hdr.Get("Content-Type"))
+	}
+	var rep progress.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("progress not JSON: %v\n%s", err, body)
+	}
+	if rep.ExperimentsTotal != 2 || rep.ExperimentsDone != 1 || rep.Cells.Done != 1 {
+		t.Fatalf("progress content: %+v", rep)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	s, pc := liveSources(t)
+	_, body, _ := get(t, s.Handler(), "/profile")
+	var rep sim.ProfileReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("profile not JSON: %v", err)
+	}
+	p := pc.Snapshot()
+	want := p.Report()
+	if rep.Machines != want.Machines || rep.Gaps != 0 || len(rep.Causes) == 0 {
+		t.Fatalf("profile content: %+v", rep)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	s, _ := liveSources(t)
+	code, body, _ := get(t, s.Handler(), "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}
+
+func TestNilSourcesServeEmptyDocuments(t *testing.T) {
+	s := serve.New(serve.Options{})
+	for _, path := range []string{"/healthz", "/metrics", "/progress", "/profile"} {
+		code, _, _ := get(t, s.Handler(), path)
+		if code != 200 {
+			t.Errorf("%s with nil sources: status %d", path, code)
+		}
+	}
+}
+
+func TestStartBindsAndServes(t *testing.T) {
+	s, _ := liveSources(t)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("live healthz: %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -255,7 +255,7 @@ func storeStall(t *Thread) bool {
 	if t.buf.Full() {
 		if min := t.buf.MinCommit(); min > t.now {
 			t.stats.BarrierStalled += min - t.now
-			t.now = min
+			t.advTo(CauseSBDrain, min)
 			return true
 		}
 	}
@@ -296,7 +296,7 @@ func execBarrier(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 
 func execWork(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 	start := t.now
-	t.now += op.Cyc
+	t.advBy(CauseWork, op.Cyc)
 	m.emit(t, TraceWork, 0, start, t.now, "")
 	e.pc++
 	return true
@@ -307,7 +307,7 @@ func execWork(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 func rmwStall(t *Thread) bool {
 	if need := maxf(t.buf.MaxCommit(), t.storeFloor); need > t.now {
 		t.stats.BarrierStalled += need - t.now
-		t.now = need
+		t.advTo(CauseSBDrain, need)
 		return true
 	}
 	return false
@@ -340,7 +340,12 @@ func execRMW(m *Machine, t *Thread, e *execEnv, op *prog.Op, kind opKind) bool {
 func execSpinEQ(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 	start := t.now
 	a := e.addr(op)
+	// Spin-wait loads attribute to CauseSpin, not their service cause:
+	// the spinning flag remaps inside the attribution helpers and never
+	// touches the simulation itself.
+	t.spinning = true
 	v := m.doLoad(t, a, false)
+	t.spinning = false
 	m.emit(t, TraceLoad, a, start, t.now, "")
 	if v == op.Val {
 		e.pc = op.Target
@@ -353,7 +358,9 @@ func execSpinEQ(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 func execSpinNE(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 	start := t.now
 	a := e.addr(op)
+	t.spinning = true
 	v := m.doLoad(t, a, false)
+	t.spinning = false
 	m.emit(t, TraceLoad, a, start, t.now, "")
 	if v != op.Val {
 		e.pc = op.Target

@@ -135,6 +135,7 @@ type Machine struct {
 	stats    Stats   // armvet:guardedby mu — snapshot readable after Run (see Stats)
 	now      float64 // armvet:guardedby mu — time of the last processed operation
 	tracer   Tracer
+	profc    *ProfileCollector // latched from SetGlobalProfile at New; nil = dark
 }
 
 // New creates a machine for the given configuration.
@@ -160,6 +161,7 @@ func New(cfg Config) *Machine {
 			m.tracer = tr
 		}
 	}
+	m.profc = globalProfile.Load()
 	return m
 }
 
@@ -273,6 +275,9 @@ func (m *Machine) Run() float64 {
 	m.mu.Unlock()
 	if reg := globalMetrics.Load(); reg != nil {
 		m.MetricsInto(reg)
+	}
+	if m.profc != nil {
+		m.profc.fold(m)
 	}
 	return finish
 }

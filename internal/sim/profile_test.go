@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"armbar/internal/metrics"
+)
+
+// checkConserved asserts the profile's structural invariant (no gaps:
+// every clock advance went through the attribution helpers and every
+// thread's shadow clock ended bit-identical to the engine clock) and
+// that the per-cause sums reconstruct the engine total up to
+// floating-point re-association.
+func checkConserved(t *testing.T, p *Profile) {
+	t.Helper()
+	if !p.Conserved() {
+		t.Errorf("profile not conserved: %d gaps, %g unattributed cycles",
+			p.Gaps, p.Cycles[CauseUnattributed])
+	}
+	sum, total := p.Attributed(), p.EngineCycles
+	if total == 0 {
+		t.Fatal("engine reported zero total cycles")
+	}
+	if rel := math.Abs(sum-total) / total; rel > 1e-9 {
+		t.Errorf("attributed %g vs engine %g: relative error %g beyond fp re-association",
+			sum, total, rel)
+	}
+}
+
+// TestProfileConservation runs the all-opcode differential workload —
+// every load flavor, both store flavors, barriers, atomics, work, and
+// a cross-thread spin — under both engines, both memory modes, and the
+// acceptance seeds, and requires exact attribution each time.
+func TestProfileConservation(t *testing.T) {
+	pc := NewProfileCollector()
+	SetGlobalProfile(pc)
+	defer SetGlobalProfile(nil)
+	for _, compiled := range []bool{false, true} {
+		for _, mode := range []Mode{WMM, TSO} {
+			for _, seed := range []int64{42, 7} {
+				pc.Reset()
+				runDifferential(t, mode, seed, compiled)
+				p := pc.Snapshot()
+				if p.Machines != 1 || p.Threads != 2 {
+					t.Fatalf("compiled=%v %v seed %d: folded %d machines / %d threads, want 1/2",
+						compiled, mode, seed, p.Machines, p.Threads)
+				}
+				checkConserved(t, &p)
+			}
+		}
+	}
+}
+
+// TestProfileIsHarmless proves enabling attribution changes nothing
+// observable: traced event sequence, stats, final memory, and clock are
+// byte-identical dark and profiled, on both engines.
+func TestProfileIsHarmless(t *testing.T) {
+	for _, compiled := range []bool{false, true} {
+		dark := runDifferential(t, WMM, 42, compiled)
+		pc := NewProfileCollector()
+		SetGlobalProfile(pc)
+		lit := runDifferential(t, WMM, 42, compiled)
+		SetGlobalProfile(nil)
+		if !reflect.DeepEqual(dark, lit) {
+			t.Errorf("compiled=%v: profiling changed the simulation (clock %g vs %g)",
+				compiled, dark.elapsed, lit.elapsed)
+		}
+	}
+}
+
+// TestProfileSpinAttribution: the compiled differential workload spins
+// on a flag with SpinEQ; those loads must land under spin_wait, and the
+// interpreted engine — whose spin loops are opaque Go control flow —
+// must see none.
+func TestProfileSpinAttribution(t *testing.T) {
+	pc := NewProfileCollector()
+	SetGlobalProfile(pc)
+	defer SetGlobalProfile(nil)
+
+	runDifferential(t, WMM, 42, true)
+	p := pc.Snapshot()
+	if p.Ops[CauseSpin] == 0 {
+		t.Error("compiled engine attributed no spin-wait ops")
+	}
+	checkConserved(t, &p)
+
+	pc.Reset()
+	runDifferential(t, WMM, 42, false)
+	p = pc.Snapshot()
+	if p.Ops[CauseSpin] != 0 {
+		t.Errorf("interpreted engine attributed %d spin ops; its spins are invisible by design", p.Ops[CauseSpin])
+	}
+	checkConserved(t, &p)
+}
+
+// TestProfileCauseBreakdown sanity-checks where the differential
+// workload's cycles land: barrier kinds used by the programs, atomics,
+// work, and store-buffer retirement must all be nonzero.
+func TestProfileCauseBreakdown(t *testing.T) {
+	pc := NewProfileCollector()
+	SetGlobalProfile(pc)
+	defer SetGlobalProfile(nil)
+	runDifferential(t, WMM, 42, true)
+	p := pc.Snapshot()
+	for _, c := range []Cause{CauseIssue, CauseDMBFull, CauseDMBSt, CauseAtomic, CauseWork, CauseSpin} {
+		if p.Ops[c] == 0 {
+			t.Errorf("cause %s: no ops attributed", c)
+		}
+	}
+	if p.Ops[CauseUnattributed] != 0 {
+		t.Errorf("unattributed ops: %d", p.Ops[CauseUnattributed])
+	}
+}
+
+// TestProfileDarkMachineReportsGaps: folding a machine that ran with
+// profiling disabled must not silently claim conservation — the whole
+// run surfaces as gap/unattributed cycles.
+func TestProfileDarkMachineReportsGaps(t *testing.T) {
+	if GlobalProfile() != nil {
+		t.Fatal("global profile unexpectedly installed")
+	}
+	m := newTestMachine(WMM, 42)
+	a := m.Alloc(1)
+	m.Spawn(0, func(th *Thread) { th.Store(a, 1); th.Work(10) })
+	m.Run()
+	p := m.Profile()
+	if p.Conserved() {
+		t.Error("dark machine claims conservation")
+	}
+	if p.Cycles[CauseUnattributed] == 0 {
+		t.Error("dark machine's cycles not surfaced as unattributed")
+	}
+}
+
+// TestProfileReportShape checks the export path: taxonomy order,
+// omission of unobserved causes, the name mapping, and the delta
+// arithmetic figures uses for per-experiment rollups.
+func TestProfileReportShape(t *testing.T) {
+	pc := NewProfileCollector()
+	SetGlobalProfile(pc)
+	defer SetGlobalProfile(nil)
+	runDifferential(t, WMM, 42, true)
+	mid := pc.Snapshot()
+	runDifferential(t, WMM, 7, true)
+	end := pc.Snapshot()
+
+	r := end.Report()
+	if r.Machines != 2 || r.Threads != 4 || r.Gaps != 0 {
+		t.Fatalf("report header: %+v", r)
+	}
+	if len(r.Causes) == 0 {
+		t.Fatal("report lists no causes")
+	}
+	seen := map[string]bool{}
+	lastIdx := -1
+	for _, cc := range r.Causes {
+		if cc.Ops == 0 && cc.Cycles == 0 {
+			t.Errorf("cause %s reported with no observations", cc.Cause)
+		}
+		if seen[cc.Cause] {
+			t.Errorf("cause %s reported twice", cc.Cause)
+		}
+		seen[cc.Cause] = true
+		idx := -1
+		for c := Cause(0); c < NumCauses; c++ {
+			if causeNames[c] == cc.Cause {
+				idx = int(c)
+			}
+		}
+		if idx <= lastIdx {
+			t.Errorf("causes out of taxonomy order at %s", cc.Cause)
+		}
+		lastIdx = idx
+	}
+
+	delta := end.Sub(mid)
+	if delta.Machines != 1 || delta.Threads != 2 {
+		t.Fatalf("delta header: %+v", delta)
+	}
+	checkConserved(t, &delta)
+	byCause := delta.CyclesByCause()
+	if byCause[causeNameWork] <= 0 {
+		t.Errorf("delta CyclesByCause work = %g", byCause[causeNameWork])
+	}
+	for name, v := range byCause {
+		if v == 0 {
+			t.Errorf("CyclesByCause includes zero entry %q", name)
+		}
+	}
+}
+
+// TestProfileMetricsInto checks the Prometheus-facing gauges, including
+// idempotent re-export (gauge-set semantics).
+func TestProfileMetricsInto(t *testing.T) {
+	pc := NewProfileCollector()
+	SetGlobalProfile(pc)
+	defer SetGlobalProfile(nil)
+	runDifferential(t, WMM, 42, true)
+	p := pc.Snapshot()
+
+	reg := metrics.NewRegistry()
+	p.MetricsInto(reg)
+	p.MetricsInto(reg) // second export must not double anything
+	snap := reg.Snapshot()
+	if got := snap.Gauges[`sim_profile_cycles{cause="work"}`]; got != p.Cycles[CauseWork] {
+		t.Errorf("work gauge %g, profile %g", got, p.Cycles[CauseWork])
+	}
+	if got := snap.Gauges["sim_profile_machines"]; got != 1 {
+		t.Errorf("machines gauge %g", got)
+	}
+	if got := snap.Gauges["sim_profile_gaps"]; got != 0 {
+		t.Errorf("gaps gauge %g", got)
+	}
+	if got := snap.Gauges["sim_profile_engine_cycles"]; got != p.EngineCycles {
+		t.Errorf("engine cycles gauge %g, want %g", got, p.EngineCycles)
+	}
+}
+
+// TestCauseStringTotality keeps the name table total.
+func TestCauseStringTotality(t *testing.T) {
+	for c := Cause(0); c < NumCauses; c++ {
+		if c.String() == "" || c.String() == "invalid" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if Cause(255).String() != "invalid" {
+		t.Error("out-of-range cause must stringify as invalid")
+	}
+}

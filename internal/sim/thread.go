@@ -67,6 +67,13 @@ type Thread struct {
 	finished bool
 	stats    ThreadStats
 
+	// Cycle-attribution profiler state (see profile.go). profOn is
+	// latched from the machine at spawn; spinning remaps causes to
+	// CauseSpin while a compiled spin-wait op is being serviced.
+	prof     threadProfile
+	profOn   bool
+	spinning bool
+
 	req     request
 	heapIdx int   // position in the machine's run queue
 	gstate  int32 // grant handshake state (see park/grant in sched.go)
@@ -90,6 +97,7 @@ func newThread(m *Machine, id int, core topo.CoreID) *Thread {
 	t.buf.Init(m.cost.StoreBufferEntries, m.cfg.Mode == TSO)
 	t.lastAddrStore.init()
 	t.wake = make(chan struct{}, 1)
+	t.profOn = m.profc != nil
 	return t
 }
 
@@ -234,7 +242,7 @@ func (m *Machine) process(r *request) bool {
 		if t.buf.Full() {
 			if min := t.buf.MinCommit(); min > t.now {
 				t.stats.BarrierStalled += min - t.now
-				t.now = min
+				t.advTo(CauseSBDrain, min)
 				return false
 			}
 		}
@@ -248,14 +256,14 @@ func (m *Machine) process(r *request) bool {
 		m.doBarrier(t, r.bar)
 		m.emit(t, TraceBarrier, 0, start, t.now, r.bar.String())
 	case opWork:
-		t.now += r.cycles
+		t.advBy(CauseWork, r.cycles)
 		m.emit(t, TraceWork, 0, start, t.now, "")
 	case opFetchAdd, opSwap, opCAS:
 		// Release half: earlier stores must have drained; wait by
 		// retrying rather than reaching into the future.
 		if need := maxf(t.buf.MaxCommit(), t.storeFloor); need > t.now {
 			t.stats.BarrierStalled += need - t.now
-			t.now = need
+			t.advTo(CauseSBDrain, need)
 			return false
 		}
 		r.result = m.doRMW(t, r.kind, r.addr, r.value, r.value2)
@@ -280,7 +288,7 @@ func (m *Machine) doRMW(t *Thread, kind opKind, addr, value, value2 uint64) uint
 	old := m.dir.Committed(addr)
 	commitAt := t.now + 1
 	d := m.dir.AccessDistance(t.core, addr)
-	t.now += m.cost.MissLatency(d) + 2
+	t.advBy(CauseAtomic, m.cost.MissLatency(d)+2)
 	// Acquire: later loads see at least this point.
 	t.syncPoint = t.now
 	t.prevLoadIssue = t.now
@@ -325,10 +333,10 @@ func (m *Machine) doLoad(t *Thread, addr uint64, acquire bool) uint64 {
 	switch {
 	case m.forward(t, addr, &val):
 		// Store-to-load forwarding from the own buffer (both modes).
-		t.now += 1
+		t.advBy(CauseIssue, 1)
 	case m.readCache(t, addr, &val):
 		// Served by the local copy (possibly stale in WMM).
-		t.now += m.cost.CacheHit
+		t.advBy(CauseCacheHit, m.cost.CacheHit)
 		fresh = m.dir.HasValidCopy(t.core, addr)
 	default:
 		// Miss: travel to the owner/farthest sharer. Independent misses
@@ -340,9 +348,9 @@ func (m *Machine) doLoad(t *Thread, addr uint64, acquire bool) uint64 {
 		lat := m.cost.MissLatency(d)
 		if t.prevLoadIssue > t.syncPoint {
 			begin := t.prevLoadIssue
-			t.now = maxf(begin+lat, t.now+m.cost.CacheHit)
+			t.advTo(CauseMiss, maxf(begin+lat, t.now+m.cost.CacheHit))
 		} else {
-			t.now += lat
+			t.advBy(CauseMiss, lat)
 		}
 		m.dir.Fetch(t.core, addr, t.now) // replaces any stale copy in place
 		val = m.dir.Committed(addr)
@@ -466,7 +474,7 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 		pen := m.cost.STLRPenaltyMin +
 			m.rng.Float64()*(m.cost.STLRPenaltyMax-m.cost.STLRPenaltyMin)
 		t.stats.BarrierStalled += pen
-		t.now += pen
+		t.advBy(CauseSTLR, pen)
 		if commit < t.now {
 			commit = t.now
 		}
@@ -476,7 +484,7 @@ func (m *Machine) doStore(t *Thread, addr, value uint64, release bool) {
 	if occ := t.buf.Len(); occ > m.stats.MaxStoreBuf {
 		m.stats.MaxStoreBuf = occ
 	}
-	t.now += m.cost.StoreBufferLatency
+	t.advBy(CauseIssue, m.cost.StoreBufferLatency)
 	ev := m.newEvent()
 	ev.time, ev.t, ev.core, ev.sbSeq, ev.addr, ev.value = e.Commit, t, t.core, e.Seq, addr, value
 	m.schedule(ev)
@@ -502,10 +510,10 @@ func (m *Machine) doBarrier(t *Thread, b isa.Barrier) {
 			resp := m.fab.Response(ace.MemoryBarrier, t.now, pend, m.span)
 			t.storeFloor = maxf(t.storeFloor, resp)
 			t.syncPoint = resp
-			t.now = resp
+			t.advTo(CauseDMBFull, resp)
 		} else {
 			t.syncPoint = t.now
-			t.now += 2
+			t.advBy(CauseDMBFull, 2)
 		}
 
 	case isa.DMBSt:
@@ -515,12 +523,12 @@ func (m *Machine) doBarrier(t *Thread, b isa.Barrier) {
 			resp := m.fab.Response(ace.MemoryBarrier, t.now, pend, m.span)
 			t.storeFloor = maxf(t.storeFloor, resp)
 		}
-		t.now += 1 // issue cost only
+		t.advBy(CauseDMBSt, 1) // issue cost only
 
 	case isa.DMBLd:
 		// Loads' completion is known core-locally: no bus transaction.
 		t.syncPoint = maxf(t.syncPoint, t.lastLoadAt)
-		t.now += 2
+		t.advBy(CauseDMBLd, 2)
 
 	case isa.DSBFull, isa.DSBSt, isa.DSBLd:
 		// Blocks *all* later instructions until the synchronization
@@ -529,27 +537,27 @@ func (m *Machine) doBarrier(t *Thread, b isa.Barrier) {
 		resp := m.fab.Response(ace.SyncBarrier, t.now, t.buf.MaxCommit(), m.span)
 		t.storeFloor = maxf(t.storeFloor, resp)
 		t.syncPoint = resp
-		t.now = maxf(t.now, resp)
+		t.advTo(CauseDSB, maxf(t.now, resp))
 
 	case isa.ISB:
-		t.now += m.cost.PipelineFlush
+		t.advBy(CauseISB, m.cost.PipelineFlush)
 
 	case isa.DataDep, isa.CtrlDep:
 		// Bogus dependency construction: one ALU op; ordering of the
 		// dependent store is automatic (stores never commit before
 		// issue, and issue follows the load's completion).
-		t.now += 1 / m.cost.IssueWidth
+		t.advBy(CauseDep, 1/m.cost.IssueWidth)
 
 	case isa.AddrDep:
 		// Orders the following loads after the previous load: the
 		// dependent access is satisfied in order, so invalidations up
 		// to the load's completion are honored.
 		t.syncPoint = maxf(t.syncPoint, t.lastLoadAt)
-		t.now += 1 / m.cost.IssueWidth
+		t.advBy(CauseDep, 1/m.cost.IssueWidth)
 
 	case isa.CtrlISB:
 		t.syncPoint = maxf(t.syncPoint, t.lastLoadAt)
-		t.now += m.cost.PipelineFlush
+		t.advBy(CauseISB, m.cost.PipelineFlush)
 
 	default:
 		badBarrier(b)

@@ -27,7 +27,16 @@ type Recorder struct {
 	events  []sim.TraceEvent
 	start   int // ring head: index of the oldest retained event
 	dropped int
+	// droppedByKind counts the overwritten events per operation kind,
+	// so a capped recording still says *what* it lost (a ring full of
+	// work nops displacing barrier stalls reads very differently from
+	// the reverse). A fixed array keeps the overwrite path
+	// allocation-free.
+	droppedByKind [numTraceKinds]int
 }
+
+// numTraceKinds sizes per-kind tables; TraceWork is the last kind.
+const numTraceKinds = int(sim.TraceWork) + 1
 
 // NewRecorder returns a recorder keeping at most the last capacity
 // events (0 = unlimited).
@@ -38,7 +47,11 @@ func NewRecorder(capacity int) *Recorder {
 // Event implements sim.Tracer.
 func (r *Recorder) Event(ev sim.TraceEvent) {
 	if r.Cap > 0 && len(r.events) >= r.Cap {
-		// Overwrite the oldest retained event.
+		// Overwrite the oldest retained event, recording what it was.
+		old := r.events[r.start]
+		if k := int(old.Kind); k >= 0 && k < numTraceKinds {
+			r.droppedByKind[k]++
+		}
 		r.events[r.start] = ev
 		r.start++
 		if r.start == len(r.events) {
@@ -65,11 +78,30 @@ func (r *Recorder) Events() []sim.TraceEvent {
 // Dropped reports how many events the cap pushed out of the ring.
 func (r *Recorder) Dropped() int { return r.dropped }
 
+// DroppedByKind reports the cap's losses per operation kind, omitting
+// kinds that lost nothing. Nil while nothing has been dropped.
+func (r *Recorder) DroppedByKind() map[sim.TraceKind]int {
+	var out map[sim.TraceKind]int
+	for k, n := range r.droppedByKind {
+		if n == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[sim.TraceKind]int)
+		}
+		out[sim.TraceKind(k)] = n
+	}
+	return out
+}
+
 // Summary aggregates a recording.
 type Summary struct {
 	PerKind   map[sim.TraceKind]KindStats
 	PerThread map[int]ThreadStats
 	Dropped   int // events lost to the recorder cap before this summary
+	// DroppedByKind breaks Dropped down by the kind of the lost events
+	// (nil when nothing was dropped).
+	DroppedByKind map[sim.TraceKind]int
 }
 
 // KindStats is the aggregate for one operation kind.
@@ -88,9 +120,10 @@ type ThreadStats struct {
 // Summarize folds the recording into totals.
 func (r *Recorder) Summarize() Summary {
 	s := Summary{
-		PerKind:   make(map[sim.TraceKind]KindStats),
-		PerThread: make(map[int]ThreadStats),
-		Dropped:   r.dropped,
+		PerKind:       make(map[sim.TraceKind]KindStats),
+		PerThread:     make(map[int]ThreadStats),
+		Dropped:       r.dropped,
+		DroppedByKind: r.DroppedByKind(),
 	}
 	for _, ev := range r.events { // aggregation is order-independent
 		d := ev.End - ev.Start
@@ -136,7 +169,20 @@ func (s Summary) String() string {
 			t, ts.Ops, ts.Cycles, ts.BarrierStall)
 	}
 	if s.Dropped > 0 {
-		fmt.Fprintf(&b, "dropped: %d events beyond the recorder cap (oldest first)\n", s.Dropped)
+		fmt.Fprintf(&b, "dropped: %d events beyond the recorder cap (oldest first)", s.Dropped)
+		if len(s.DroppedByKind) > 0 {
+			kinds := make([]int, 0, len(s.DroppedByKind))
+			for k := range s.DroppedByKind {
+				kinds = append(kinds, int(k))
+			}
+			sort.Ints(kinds)
+			parts := make([]string, 0, len(kinds))
+			for _, k := range kinds {
+				parts = append(parts, fmt.Sprintf("%s %d", sim.TraceKind(k), s.DroppedByKind[sim.TraceKind(k)]))
+			}
+			fmt.Fprintf(&b, " — %s", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

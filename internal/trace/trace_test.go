@@ -227,3 +227,43 @@ func TestCollectorMergesMachines(t *testing.T) {
 		t.Fatalf("pids must identify machines: %+v", doc.TraceEvents)
 	}
 }
+
+func TestDroppedByKind(t *testing.T) {
+	// Fill a 4-slot ring with loads, then push them out with barriers
+	// and one store: the drop breakdown must name what was lost, not
+	// what displaced it.
+	rec := NewRecorder(4)
+	for i := 0; i < 4; i++ {
+		rec.Event(sim.TraceEvent{Kind: sim.TraceLoad, Start: float64(i), End: float64(i) + 1})
+	}
+	if rec.DroppedByKind() != nil {
+		t.Fatal("nothing dropped yet, breakdown must be nil")
+	}
+	for i := 0; i < 3; i++ {
+		rec.Event(sim.TraceEvent{Kind: sim.TraceBarrier, Start: float64(10 + i), End: float64(11 + i)})
+	}
+	rec.Event(sim.TraceEvent{Kind: sim.TraceStore, Start: 20, End: 21})
+
+	by := rec.DroppedByKind()
+	if by[sim.TraceLoad] != 4 || by[sim.TraceBarrier] != 0 || len(by) != 1 {
+		t.Fatalf("DroppedByKind = %v, want load:4 only", by)
+	}
+	s := rec.Summarize()
+	if s.DroppedByKind[sim.TraceLoad] != 4 {
+		t.Fatalf("Summary.DroppedByKind = %v", s.DroppedByKind)
+	}
+	if out := s.String(); !strings.Contains(out, "load 4") {
+		t.Fatalf("summary text must break drops down by kind:\n%s", out)
+	}
+
+	// Keep pushing: the next overwrite displaces the oldest barrier, so
+	// the breakdown now spans two kinds.
+	rec.Event(sim.TraceEvent{Kind: sim.TraceWork, Start: 30, End: 31})
+	by = rec.DroppedByKind()
+	if by[sim.TraceBarrier] != 1 || by[sim.TraceLoad] != 4 {
+		t.Fatalf("after displacing a barrier: %v", by)
+	}
+	if sum := by[sim.TraceLoad] + by[sim.TraceBarrier]; sum != rec.Dropped() {
+		t.Fatalf("per-kind drops sum to %d, total %d", sum, rec.Dropped())
+	}
+}

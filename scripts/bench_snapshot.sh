@@ -65,6 +65,14 @@ END {
     print "}"
 }' > "$out"
 
+# Every regeneration also appends the snapshot as one compact JSON
+# line to the committed history, so `armbar perfcheck` can show how
+# the baseline itself drifted across refreshes. Indentation is
+# line-leading only and JSON strings hold no newlines, so stripping
+# leading whitespace and joining lines is a faithful compaction.
+hist=BENCH_history.jsonl
+awk '{ sub(/^[ \t]+/, ""); printf "%s", $0 } END { print "" }' "$out" >> "$hist"
+
 # A snapshot is only comparable to runs from the same toolchain and
 # commit, so record where it came from next to it.
 manifest=BENCH_sim.manifest.json
@@ -81,5 +89,5 @@ cat > "$manifest" <<EOF
 }
 EOF
 
-echo "wrote $out and $manifest:"
+echo "wrote $out and $manifest, appended to $hist:"
 cat "$out"

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Static-analysis gate: run the armvet pass suite (determvet, lockvet,
-# atomicvet, allocvet) over the whole module and fail on any finding.
+# atomicvet, allocvet, metricvet) over the whole module and fail on any finding.
 # armvet typechecks the repo from source with the pure-Go toolchain
 # (no cgo, no network), so the only requirement is a Go toolchain new
 # enough for the go.mod language version. Degrade loudly, not

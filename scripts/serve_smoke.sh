@@ -1,0 +1,94 @@
+#!/bin/sh
+# Live-observability smoke test (`make serve-smoke`): start a cold
+# `-quick all` run with -serve on an ephemeral port, then poll the
+# endpoints while it works:
+#
+#   /healthz   must answer "ok"
+#   /metrics   must be parseable Prometheus text (every non-comment
+#              line "name[{labels}] value") and include the profiler's
+#              sim_profile_cycles series once cells have simulated
+#   /progress  must be JSON whose cells.done count never decreases
+#              across polls (monotone progress)
+#
+# The run must then exit 0 itself. Everything happens in temp dirs; a
+# failed assertion kills the run and exits nonzero.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { curl -fsS --max-time 5 "$1"; }
+
+go build -o "$work/armbar" ./cmd/armbar
+
+# -par 2 forces the worker pool even on single-CPU machines: cells run
+# inline without a pool (-par 1), which would leave the per-cell
+# counters legitimately at zero and defeat the monotone-done check.
+"$work/armbar" -quick -times=false -par 2 -cache-dir "$work/cache" -serve 127.0.0.1:0 \
+	-manifest "$work/manifest.json" all \
+	> "$work/stdout" 2> "$work/stderr" &
+pid=$!
+
+# The bound address appears on stderr as soon as the listener is up.
+addr=
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's|^# serve    listening on http://\([^ ]*\).*|\1|p' "$work/stderr")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: run died before binding:"; cat "$work/stderr"; exit 1; }
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: no listening line on stderr"; exit 1; }
+base="http://$addr"
+echo "serve-smoke: polling $base"
+
+[ "$(fetch "$base/healthz")" = "ok" ] || { echo "serve-smoke: bad /healthz"; exit 1; }
+
+# Poll while the run works: done counts must be monotone and /metrics
+# must stay parseable on every scrape.
+last=-1
+polls=0
+while kill -0 "$pid" 2>/dev/null; do
+	# Compare only successful polls: a scrape racing the run's exit
+	# must not read as regress. `"done":<digit>` matches only the cells
+	# block — experiment states render as "state":"done" (no digit) and
+	# the experiment counter field is named experiments_done.
+	if prog=$(fetch "$base/progress" 2>/dev/null); then
+		done_now=$(printf '%s' "$prog" | tr -d ' \n' \
+			| sed -n 's/.*"done":\([0-9][0-9]*\).*/\1/p')
+		if [ -n "$done_now" ]; then
+			if [ "$done_now" -lt "$last" ]; then
+				echo "serve-smoke: cells.done went backwards: $last -> $done_now"
+				exit 1
+			fi
+			last=$done_now
+			polls=$((polls + 1))
+		fi
+	fi
+	fetch "$base/metrics" > "$work/metrics.prom" 2>/dev/null || true
+	if [ -s "$work/metrics.prom" ]; then
+		bad=$(awk '!/^#/ && NF { if (!($0 ~ /^[a-zA-Z_:][a-zA-Z0-9_:]*({[^}]*})? -?[0-9+.eEInf-]+$/)) print }' \
+			"$work/metrics.prom" | head -3)
+		if [ -n "$bad" ]; then
+			echo "serve-smoke: unparseable /metrics lines:"
+			echo "$bad"
+			exit 1
+		fi
+	fi
+	sleep 0.3
+done
+wait "$pid" || { echo "serve-smoke: run exited nonzero:"; tail -5 "$work/stderr"; exit 1; }
+pid=
+
+[ "$polls" -ge 1 ] || { echo "serve-smoke: never managed a /progress poll"; exit 1; }
+[ "$last" -ge 1 ] || { echo "serve-smoke: cells.done never advanced past 0"; exit 1; }
+grep -q 'sim_profile_cycles{cause=' "$work/metrics.prom" || {
+	echo "serve-smoke: final /metrics scrape lacks sim_profile_cycles"
+	exit 1
+}
+echo "serve-smoke: OK ($polls progress polls, final done=$last)"
