@@ -7,9 +7,11 @@ GO ?= go
 # cycle-attribution conservation invariant over the fast golden
 # subset, then the perf-regression gate against the committed
 # BENCH_sim.json. `-run 'Test'` keeps the race pass on the (fast)
-# unit tests rather than the benchmarks.
+# unit tests rather than the benchmarks. scalecheck re-runs the
+# 256-core barrier smoke under the race detector so the many-core
+# scheduler path is exercised at scale on every merge.
 .PHONY: verify
-verify: build vet lint test race profilecheck cachecheck perfcheck
+verify: build vet lint test race scalecheck profilecheck cachecheck perfcheck
 
 .PHONY: build
 build:
@@ -33,6 +35,14 @@ test:
 .PHONY: race
 race:
 	$(GO) test -race -run Test ./internal/runner ./internal/core ./internal/sim ./internal/sb ./internal/progress ./internal/serve
+
+# Many-core smoke under the race detector: a 256-thread sense-reversing
+# barrier run drives the direct-dispatch scheduler, the sharded
+# directory bitsets and the compiled engine at scale-out thread counts
+# that the ordinary race pass never reaches.
+.PHONY: scalecheck
+scalecheck:
+	$(GO) test -race -run 'TestScaleOut256' ./internal/barrier
 
 # Full determinism sweep: every registered experiment, sequential vs
 # -par 8, two seeds. Minutes of wall clock; run before merging
@@ -64,10 +74,10 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # Simulator hot-path microbenchmarks (rendezvous, store commit, DMB,
-# cache lookup).
+# cache lookup, directory bitsets at 1024 cores, barrier scaling).
 .PHONY: bench-sim
 bench-sim:
-	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit' -benchmem ./internal/sim ./internal/cellcache
+	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit|DirectoryRank|DirectorySharerChurn|BarrierScale' -benchmem ./internal/sim ./internal/cellcache ./internal/mesi ./internal/barrier
 
 # Regenerate the committed BENCH_sim.json snapshot from bench-sim.
 .PHONY: bench-snapshot

@@ -48,7 +48,15 @@ func cacheMain(args []string) int {
 	fmt.Printf("dir:       %s\n", st.Dir)
 	fmt.Printf("code hash: %s\n", st.CodeHash)
 	fmt.Printf("entries:   %d (%d from other code versions)\n", st.Entries, st.StaleEntries)
-	fmt.Printf("bytes:     %d\n", st.Bytes)
+	fmt.Printf("bytes:     %d", st.Bytes)
+	if st.Entries > 0 {
+		fmt.Printf(" (mean %d, max %d per entry)", st.MeanEntryBytes, st.MaxEntryBytes)
+	}
+	fmt.Println()
+	if st.LargeEntries > 0 {
+		fmt.Printf("warning:   %d entr%s over %d bytes — some generator caches whole sweeps instead of cells\n",
+			st.LargeEntries, plural(st.LargeEntries, "y is", "ies are"), int64(cellcache.LargeEntryBytes))
+	}
 	if st.DamagedFiles > 0 {
 		fmt.Printf("damaged:   %d shard file(s) had a corrupt tail (discarded)\n", st.DamagedFiles)
 	}
@@ -56,4 +64,12 @@ func cacheMain(args []string) int {
 		fmt.Printf("warning:   directory unusable; cache is memory-only\n")
 	}
 	return 0
+}
+
+// plural picks a suffix by count, for the stats warnings.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -103,6 +103,7 @@ var HotPathFuncs = map[string]bool{
 	"armbar/internal/sim.execRMW":              true,
 	"armbar/internal/sim.execSpinEQ":           true,
 	"armbar/internal/sim.execSpinNE":           true,
+	"armbar/internal/sim.execSpinGE":           true,
 	"armbar/internal/sim.storeStall":           true,
 	"armbar/internal/sim.rmwStall":             true,
 
@@ -133,7 +134,12 @@ var HotPathFuncs = map[string]bool{
 	"armbar/internal/sb.Buffer.MinCommit": true,
 	"armbar/internal/sb.Buffer.MaxCommit": true,
 
-	// Coherence directory (internal/mesi).
+	// Coherence directory (internal/mesi). The sharded sharer-bitset
+	// primitives (lineBits, sharerWord, rank) and the atomic
+	// line-occupancy gate run once or more per access at every core
+	// count; BenchmarkDirectoryRank1024 and
+	// BenchmarkDirectorySharerChurn1024 pin them at 0 allocs/op at the
+	// 1024-core preset.
 	"armbar/internal/mesi.LineOf":                   true,
 	"armbar/internal/mesi.Copy.Valid":               true,
 	"armbar/internal/mesi.Copy.StaleValue":          true,
@@ -146,6 +152,11 @@ var HotPathFuncs = map[string]bool{
 	"armbar/internal/mesi.Directory.CopyAt":         true,
 	"armbar/internal/mesi.Directory.Committed":      true,
 	"armbar/internal/mesi.Directory.PrevCommitted":  true,
+	"armbar/internal/mesi.Directory.DropCopy":       true,
+	"armbar/internal/mesi.Directory.lineBits":       true,
+	"armbar/internal/mesi.sharerWord":               true,
+	"armbar/internal/mesi.Directory.rank":           true,
+	"armbar/internal/mesi.Directory.AcquireAtomic":  true,
 
 	// Interconnect cost model (internal/ace).
 	"armbar/internal/ace.Fabric.Response": true,

@@ -1,0 +1,17 @@
+package barrier_test
+
+import (
+	"testing"
+
+	"armbar/internal/simbench"
+)
+
+// The benchmark bodies live in internal/simbench beside the other
+// simulator hot-path benchmarks so `armbar perfcheck` reruns exactly
+// what these wrappers measure; scripts/bench_snapshot.sh freezes their
+// output into BENCH_sim.json. One op is one thread-round of the
+// sense-reversing barrier on the named scale-out preset.
+
+func BenchmarkBarrierScale64(b *testing.B)   { simbench.BarrierScale64(b) }
+func BenchmarkBarrierScale256(b *testing.B)  { simbench.BarrierScale256(b) }
+func BenchmarkBarrierScale1024(b *testing.B) { simbench.BarrierScale1024(b) }

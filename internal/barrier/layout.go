@@ -1,0 +1,222 @@
+package barrier
+
+import (
+	"fmt"
+
+	"armbar/internal/mesi"
+	"armbar/internal/prog"
+	"armbar/internal/sim"
+)
+
+// layout maps an algorithm's signal variables onto cache lines. Every
+// signal gets a full line to itself — padding is part of what the zoo
+// measures (Pairwise vs Central is in essence a padding-and-fanout
+// experiment) — so a layout is just a base address and a line count,
+// with per-algorithm index math in the emitters below.
+//
+// The program builder and the machine must agree on addresses, and the
+// builder runs before any machine exists. Machine.Alloc is a pure bump
+// allocator over lines starting at allocBase, so the layout computes
+// the same addresses standalone, and place() replays the allocation on
+// the real machine and checks the bases line up.
+type layout struct {
+	base  uint64
+	lines int
+}
+
+// allocBase is the first address Machine.Alloc hands out: one line in,
+// keeping address 0 unused.
+const allocBase = 1 << mesi.LineShift
+
+func layoutFor(a Algo, n int) layout {
+	var lines int
+	switch a {
+	case Central:
+		lines = 1 // the counter
+	case SenseReversing:
+		lines = 2 // counter + release flag
+	case CombiningTree:
+		lines = 2 * treeGroups(n) // a counter and a release flag per group
+	case Dissemination:
+		lines = ceilLog2(n) * n // sig[round][writer]
+	case Pairwise:
+		lines = 2 * (n - 1) // arrive chain + release chain
+	default:
+		panic(fmt.Sprintf("barrier: layoutFor(%d)", a))
+	}
+	return layout{base: allocBase, lines: lines}
+}
+
+// addr is the address of the layout's k-th line.
+func (l layout) addr(k int) prog.Operand {
+	return prog.Abs(l.base + uint64(k)<<mesi.LineShift)
+}
+
+// place replays the layout's allocation on a fresh machine so the
+// programs' absolute addresses are backed by this machine's address
+// space (and later Allocs can't collide with them).
+func (l layout) place(m *sim.Machine) {
+	if got := m.Alloc(l.lines); got != l.base {
+		panic(fmt.Sprintf("barrier: machine allocator gave base %#x, programs built for %#x", got, l.base))
+	}
+}
+
+// ceilLog2 returns ceil(log2 n) for n >= 2.
+func ceilLog2(n int) int {
+	k := 0
+	for (1 << k) < n {
+		k++
+	}
+	return k
+}
+
+// ipow returns base**e for small non-negative e.
+func ipow(base, e int) int {
+	p := 1
+	for ; e > 0; e-- {
+		p *= base
+	}
+	return p
+}
+
+// --- combining-tree index math -------------------------------------
+//
+// For n = treeRadix^L threads the tree has L levels of groups; level l
+// has n/treeRadix^(l+1) groups of treeRadix members each (threads at
+// level 0, subtree representatives above). Group g at level l owns an
+// arrival counter cnt[l][g] and a release flag rel[l][g], laid out as
+//
+//	[ cnt level 0 | cnt level 1 | ... | rel level 0 | rel level 1 | ... ]
+
+// treeLevels returns L with treeRadix^L == n (callers validate n).
+func treeLevels(n int) int {
+	l := 0
+	for p := 1; p < n; p *= treeRadix {
+		l++
+	}
+	return l
+}
+
+// treeGroups is the total group count across levels:
+// n/q + n/q^2 + ... + 1 = (n-1)/(q-1) for n a power of q.
+func treeGroups(n int) int {
+	return (n - 1) / (treeRadix - 1)
+}
+
+// treeCnt is the line index of cnt[l][g].
+func treeCnt(n, l, g int) int {
+	off := 0
+	for j, size := 0, n/treeRadix; j < l; j, size = j+1, size/treeRadix {
+		off += size
+	}
+	return off + g
+}
+
+// treeRel is the line index of rel[l][g].
+func treeRel(n, l, g int) int {
+	return treeGroups(n) + treeCnt(n, l, g)
+}
+
+// repLevel is the highest tree level thread i represents: the largest
+// l <= max with treeRadix^l dividing i. Thread 0 represents the root.
+func repLevel(i, max int) int {
+	if i == 0 {
+		return max
+	}
+	l := 0
+	for i%treeRadix == 0 {
+		l++
+		i /= treeRadix
+	}
+	return l
+}
+
+// --- per-algorithm round emitters ----------------------------------
+//
+// Each emitter appends one barrier episode for thread i of n to the
+// builder. epoch is round+1: all waits are SpinGE against monotone
+// counters/flags, so a round's signals never need resetting and a
+// value racing past the target cannot strand a slow spinner.
+
+func emitCentral(b *prog.Builder, lay layout, n, i int, epoch uint64) {
+	cnt := lay.addr(0)
+	b.FetchAdd(cnt, prog.Imm(1))
+	// Everyone spins on the counter line itself: each arrival
+	// invalidates every spinner's copy. That refetch storm is the
+	// scaling failure this algorithm exists to demonstrate.
+	b.SpinGE(cnt, uint64(n)*epoch, padFor(n))
+}
+
+func emitSense(b *prog.Builder, lay layout, n, i int, epoch uint64) {
+	cnt, flag := lay.addr(0), lay.addr(1)
+	b.FetchAdd(cnt, prog.Imm(1))
+	if i == 0 {
+		// The master observes the full count and publishes the epoch:
+		// one store invalidates the spinners once per round.
+		b.SpinGE(cnt, uint64(n)*epoch, padFor(n))
+		b.Store(flag, prog.Imm(epoch))
+	} else {
+		b.SpinGE(flag, epoch, padFor(n))
+	}
+}
+
+func emitTree(b *prog.Builder, lay layout, n, i int, epoch uint64) {
+	q := treeRadix
+	L := treeLevels(n)
+	lam := repLevel(i, L)
+	full := uint64(q) * epoch // a group counter's value once all members arrived this round
+
+	// Arrival: add to the level-0 group counter; at every level this
+	// thread represents, wait for the group below to fill, then add to
+	// the counter one level up (the root representative just waits).
+	b.FetchAdd(lay.addr(treeCnt(n, 0, i/q)), prog.Imm(1))
+	for l, p := 1, q; l <= lam; l, p = l+1, p*q {
+		b.SpinGE(lay.addr(treeCnt(n, l-1, i/p)), full, padFor(n))
+		if l < L {
+			b.FetchAdd(lay.addr(treeCnt(n, l, i/(p*q))), prog.Imm(1))
+		}
+	}
+
+	// Release: wait for this thread's highest group to be released
+	// (the root representative needs no wait — it saw the root counter
+	// fill), then broadcast downward through every represented level.
+	if lam < L {
+		b.SpinGE(lay.addr(treeRel(n, lam, i/ipow(q, lam+1))), epoch, padFor(n))
+	}
+	for l, p := lam, ipow(q, lam); l >= 1; l, p = l-1, p/q {
+		b.Store(lay.addr(treeRel(n, l-1, i/p)), prog.Imm(epoch))
+	}
+}
+
+func emitDissem(b *prog.Builder, lay layout, n, i int, epoch uint64) {
+	// Round k: signal thread (i+2^k) mod n through my own slot, wait on
+	// the slot of (i-2^k) mod n. After ceil(log2 n) rounds every thread
+	// transitively heard from every other. Each (round, writer) slot is
+	// its own line: no line ever has more than one writer and one
+	// spinner.
+	for k, d := 0, 1; (1 << k) < n; k, d = k+1, d*2 {
+		b.Store(lay.addr(k*n+i), prog.Imm(epoch))
+		b.SpinGE(lay.addr(k*n+(i-d+n)%n), epoch, padFor(n))
+	}
+}
+
+func emitPairwise(b *prog.Builder, lay layout, n, i int, epoch uint64) {
+	// Arrival ripples 0 -> n-1 through arr[0..n-2], the release back
+	// n-1 -> 0 through rel[0..n-2]; arr[j] and rel[j] pair thread j
+	// with thread j+1, each on a private line.
+	arr := func(j int) prog.Operand { return lay.addr(j) }
+	rel := func(j int) prog.Operand { return lay.addr(n - 1 + j) }
+	switch {
+	case i == 0:
+		b.Store(arr(0), prog.Imm(epoch))
+		b.SpinGE(rel(0), epoch, padFor(n))
+	case i < n-1:
+		b.SpinGE(arr(i-1), epoch, padFor(n))
+		b.Store(arr(i), prog.Imm(epoch))
+		b.SpinGE(rel(i), epoch, padFor(n))
+		b.Store(rel(i-1), prog.Imm(epoch))
+	default: // i == n-1: the turnaround — last to arrive, first to release
+		b.SpinGE(arr(n-2), epoch, padFor(n))
+		b.Store(rel(n-2), prog.Imm(epoch))
+	}
+}

@@ -1,0 +1,85 @@
+package barrier
+
+import (
+	"fmt"
+
+	"armbar/internal/prog"
+	"armbar/internal/sim"
+)
+
+// walk runs a compiled micro-op program through the interpreted
+// engine's per-op Thread methods, mirroring the compiled executor's
+// control flow (sim/compiled.go) op for op: same ops in the same
+// order, jumps and loop backedges as Go control flow. Both engines
+// therefore present the identical service sequence to the scheduler,
+// which is what the engine-differential test pins down.
+func walk(t *sim.Thread, p *prog.Program) {
+	ops := p.Ops
+	var counters [prog.MaxLoopDepth]int64
+	addr := func(op *prog.Op) uint64 {
+		if op.AMode == prog.AddrImm {
+			return op.Addr
+		}
+		tab := p.Tables[op.Addr]
+		return tab[uint64(counters[op.Dep])%uint64(len(tab))]
+	}
+	value := func(op *prog.Op) uint64 {
+		if op.VMode == prog.ValImm {
+			return op.Val
+		}
+		return uint64(counters[op.Dep])
+	}
+	for pc := 0; pc < len(ops); {
+		op := &ops[pc]
+		switch op.Code {
+		case prog.Load:
+			t.Load(addr(op))
+		case prog.LoadAcq:
+			t.LoadAcquire(addr(op))
+		case prog.LoadAcqPC:
+			t.LoadAcquirePC(addr(op))
+		case prog.Store:
+			t.Store(addr(op), value(op))
+		case prog.StoreRel:
+			t.StoreRelease(addr(op), value(op))
+		case prog.FetchAdd:
+			t.FetchAdd(addr(op), value(op))
+		case prog.Swap:
+			t.Swap(addr(op), value(op))
+		case prog.CAS:
+			t.CompareAndSwap(addr(op), op.Val, op.Val2)
+		case prog.Barrier:
+			t.Barrier(op.Bar)
+		case prog.Work:
+			t.Work(op.Cyc)
+		case prog.SpinEQ:
+			if t.Load(addr(op)) == op.Val {
+				pc = int(op.Target)
+				continue
+			}
+		case prog.SpinNE:
+			if t.Load(addr(op)) != op.Val {
+				pc = int(op.Target)
+				continue
+			}
+		case prog.SpinGE:
+			if t.Load(addr(op)) >= op.Val {
+				pc = int(op.Target)
+				continue
+			}
+		case prog.Jump:
+			pc = int(op.Target)
+			continue
+		case prog.LoopEnd:
+			if c := counters[op.Dep] + 1; c < op.Count {
+				counters[op.Dep] = c
+				pc = int(op.Target)
+				continue
+			}
+			counters[op.Dep] = 0
+		default:
+			panic(fmt.Sprintf("barrier: walk: unknown op code %d", op.Code))
+		}
+		pc++
+	}
+}

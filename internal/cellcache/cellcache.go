@@ -250,6 +250,13 @@ func (c *Cache) SetMetrics(reg *metrics.Registry) {
 	c.mu.Unlock()
 }
 
+// LargeEntryBytes is the per-entry size above which Stats counts an
+// entry as oversized and `armbar cache stats` warns. A cell result is
+// one gob-encoded figure data point (or one whole-table Wire) — tens
+// of bytes to a few kilobytes; an entry near a megabyte means a
+// generator is caching something it should decompose into cells.
+const LargeEntryBytes = 1 << 20
+
 // Stats is the cache's self-description for `armbar cache stats` and
 // the run manifest.
 type Stats struct {
@@ -258,18 +265,23 @@ type Stats struct {
 	Entries      int    `json:"entries"`       // loaded + stored this process
 	StaleEntries int    `json:"stale_entries"` // records from other code versions (gc reclaims)
 	Bytes        int64  `json:"bytes"`
-	DamagedFiles int    `json:"damaged_files"` // shard files with a corrupt tail at load
-	Hits         uint64 `json:"hits"`
-	Misses       uint64 `json:"misses"`
-	Puts         uint64 `json:"puts"`
-	MemoryOnly   bool   `json:"memory_only,omitempty"`
+	// MeanEntryBytes / MaxEntryBytes describe the per-entry encoded
+	// sizes, and LargeEntries counts entries over LargeEntryBytes.
+	MeanEntryBytes int64  `json:"mean_entry_bytes"`
+	MaxEntryBytes  int64  `json:"max_entry_bytes"`
+	LargeEntries   int    `json:"large_entries,omitempty"`
+	DamagedFiles   int    `json:"damaged_files"` // shard files with a corrupt tail at load
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Puts           uint64 `json:"puts"`
+	MemoryOnly     bool   `json:"memory_only,omitempty"`
 }
 
 // Stats snapshots the cache.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Dir:          c.dir,
 		CodeHash:     fmt.Sprintf("%x", c.codeHash),
 		Entries:      len(c.entries),
@@ -281,6 +293,21 @@ func (c *Cache) Stats() Stats {
 		Puts:         c.puts.Load(),
 		MemoryOnly:   c.memOnly,
 	}
+	// Max and mean are order-independent over the entries map, so the
+	// map walk stays deterministic output-wise.
+	for _, v := range c.entries {
+		n := int64(len(v))
+		if n > st.MaxEntryBytes {
+			st.MaxEntryBytes = n
+		}
+		if n > LargeEntryBytes {
+			st.LargeEntries++
+		}
+	}
+	if st.Entries > 0 {
+		st.MeanEntryBytes = st.Bytes / int64(st.Entries)
+	}
+	return st
 }
 
 // Close flushes the index file and releases the shard handles. The

@@ -256,3 +256,37 @@ func TestKeyForDeterministicAndDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsEntrySizes(t *testing.T) {
+	c := openWithHash(t.TempDir(), testHash("v1"))
+	defer c.Close()
+	c.Put("s", 0, bytes.Repeat([]byte{1}, 10))
+	c.Put("s", 1, bytes.Repeat([]byte{2}, 30))
+	st := c.Stats()
+	if st.MaxEntryBytes != 30 {
+		t.Errorf("MaxEntryBytes = %d, want 30", st.MaxEntryBytes)
+	}
+	if st.MeanEntryBytes != 20 {
+		t.Errorf("MeanEntryBytes = %d, want 20", st.MeanEntryBytes)
+	}
+	if st.LargeEntries != 0 {
+		t.Errorf("LargeEntries = %d, want 0", st.LargeEntries)
+	}
+
+	// One oversized entry must be counted and reflected in the max.
+	c.Put("s", 2, make([]byte, LargeEntryBytes+1))
+	st = c.Stats()
+	if st.LargeEntries != 1 {
+		t.Errorf("LargeEntries = %d, want 1", st.LargeEntries)
+	}
+	if st.MaxEntryBytes != LargeEntryBytes+1 {
+		t.Errorf("MaxEntryBytes = %d, want %d", st.MaxEntryBytes, LargeEntryBytes+1)
+	}
+
+	// Empty cache: no divide-by-zero, all zeros.
+	e := openWithHash(t.TempDir(), testHash("v2"))
+	defer e.Close()
+	if st := e.Stats(); st.MeanEntryBytes != 0 || st.MaxEntryBytes != 0 || st.LargeEntries != 0 {
+		t.Errorf("empty-cache stats: %+v", st)
+	}
+}

@@ -21,10 +21,10 @@ import (
 // stale results. cellcache itself is included so an encoding change
 // can never decode old records into wrong values.
 var simPackages = []string{
-	"a64", "ablation", "absmodel", "ace", "cellcache", "core", "dedup",
-	"ds", "figures", "floorplan", "isa", "litmus", "locks", "mesi",
-	"metrics", "pc", "platform", "prog", "report", "runner", "sb",
-	"scenario", "sim", "topo",
+	"a64", "ablation", "absmodel", "ace", "barrier", "cellcache", "core",
+	"dedup", "ds", "figures", "floorplan", "isa", "litmus", "locks",
+	"mesi", "metrics", "pc", "platform", "prog", "report", "runner",
+	"sb", "scenario", "sim", "topo",
 }
 
 var (

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"fmt"
+
+	"armbar/internal/barrier"
+	"armbar/internal/platform"
+	"armbar/internal/report"
+)
+
+// BarrierZoo sweeps the five barrier algorithms of internal/barrier
+// across the synthetic scale-out platforms (64/256/1024 cores, one
+// thread per core) and reports cycles per barrier round — the
+// reproduction of the scaling-shape comparison in the 1024-core
+// barrier study (Bertuletti et al., PAPERS.md): linear growth for the
+// counter-based barriers once atomic occupancy serializes the
+// arrivals, logarithmic for tree and dissemination, and the padded
+// linear chain as the O(n) outlier.
+func BarrierZoo(o Options) *report.Table {
+	rounds := o.scale(4, 2)
+	cores := platform.ScaleOutCores
+	if o.Quick {
+		cores = cores[:2] // {64, 256}
+	}
+	algos := barrier.Algos()
+	cols := make([]string, 0, len(algos)+1)
+	cols = append(cols, "Cores")
+	for _, a := range algos {
+		cols = append(cols, a.String())
+	}
+	t := report.New("Extension: barrier algorithm zoo at scale (cycles/round)", cols...)
+
+	// One cell per (core count, algorithm). The pairwise chain's cost
+	// is O(n) in simulated AND host time (every thread spins for the
+	// whole episode), so quick mode runs it only at the smallest size.
+	type cell struct {
+		Cyc  float64
+		Skip bool
+	}
+	vals := cellGrid(o, len(cores), len(algos), func(r, c int) cell {
+		n, a := cores[r], algos[c]
+		if o.Quick && a == barrier.Pairwise && n > 64 {
+			return cell{Skip: true}
+		}
+		res, err := barrier.Run(a, barrier.Config{
+			Plat:    platform.MustScaleOut(n),
+			Threads: n,
+			Rounds:  rounds,
+			Seed:    o.seed(),
+		})
+		if err != nil {
+			// Unreachable for the registered grid; make a cell error
+			// loud rather than silently zero.
+			panic(fmt.Sprintf("figures: barrierzoo %s/%d: %v", a, n, err))
+		}
+		return cell{Cyc: res.CyclesPerRound}
+	})
+	for r, n := range cores {
+		row := make([]any, 0, len(algos)+1)
+		row = append(row, n)
+		for c := range algos {
+			if vals[r][c].Skip {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", vals[r][c].Cyc))
+		}
+		t.Row(row...)
+	}
+	t.Note = "scale-out presets enable atomic line occupancy (RMWOccupancy), so central/sense-rev arrivals serialize and grow linearly; comb-tree and dissem stay logarithmic; pairwise is the padded O(n) chain"
+	return t
+}

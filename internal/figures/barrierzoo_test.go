@@ -1,0 +1,33 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+
+	"armbar/internal/figures"
+	"armbar/internal/runner"
+)
+
+// TestBarrierZooDeterministic pins the new scaling figure the same way
+// the registry-wide guardrails pin the paper's: quick-mode output must
+// be byte-identical between the inline sequential path and pools of
+// every width, at both canonical seeds. (barrierzoo stays out of
+// fastSubset so the fast golden digest is untouched; this test is its
+// dedicated equivalent.)
+func TestBarrierZooDeterministic(t *testing.T) {
+	for _, seed := range []int64{42, 7} {
+		seq := render(figures.Options{Quick: true, Seed: seed}, []string{"barrierzoo"})
+		if !strings.Contains(seq, "central") || !strings.Contains(seq, "pairwise") {
+			t.Fatalf("seed %d: rendered figure is missing algorithm columns:\n%s", seed, seq)
+		}
+		for _, workers := range []int{2, 8} {
+			pool := runner.New(workers)
+			par := render(figures.Options{Quick: true, Seed: seed, Pool: pool}, []string{"barrierzoo"})
+			pool.Close()
+			if par != seq {
+				t.Errorf("seed %d par=%d: output differs from sequential\nseq:\n%s\npar:\n%s",
+					seed, workers, seq, par)
+			}
+		}
+	}
+}

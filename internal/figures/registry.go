@@ -50,6 +50,7 @@ var registry = []Experiment{
 	{"seqlock", 1, one(SeqlockVsPilot)},
 	{"a64", 1, one(A64CrossCheck)},
 	{"ablation", 5, ablationTables},
+	{"barrierzoo", 1, one(BarrierZoo)},
 }
 
 // ablationTables fans the five ablation sweeps out as independent

@@ -1,0 +1,16 @@
+package mesi_test
+
+import (
+	"testing"
+
+	"armbar/internal/simbench"
+)
+
+// The benchmark bodies live in internal/simbench beside the simulator
+// hot-path set so the `armbar perfcheck` regression gate reruns
+// exactly what these wrappers measure (scripts/bench_snapshot.sh
+// freezes the output into BENCH_sim.json). Both drive the sharded
+// sharer bitsets of the directory at the 1024-core preset.
+
+func BenchmarkDirectoryRank1024(b *testing.B)        { simbench.DirectoryRank1024(b) }
+func BenchmarkDirectorySharerChurn1024(b *testing.B) { simbench.DirectorySharerChurn1024(b) }

@@ -13,15 +13,25 @@
 // Storage is dense, not map-based: the simulator allocates addresses
 // sequentially (sim.Machine.Alloc hands out consecutive lines from
 // address 64), so line state lives in a slice indexed by line number
-// and committed values in a slice indexed by 8-byte word number. Every
-// store commit used to pay half a dozen runtime map lookups; now each
-// is one bounds-checked slice index. Per-line sharer state is a
-// compact slice of copies plus a per-core index, so commit-time
-// invalidation walks only the cores that actually hold the line.
+// and committed values in a slice indexed by 8-byte word number.
+//
+// Sharer tracking is a flat bitset slab sharded in 64-core words: each
+// line owns shardWords consecutive uint64s of d.sharers (bit c of word
+// c/64 set iff core c holds a copy) plus one summary word whose bit w
+// flags sharer word w nonzero. The hierarchical topologies number
+// cores densely cluster by cluster, so a 64-bit sharer word covers a
+// whole group of adjacent clusters and a zero summary bit skips that
+// group entirely — coherence queries touch only the cluster groups
+// that actually share the line. Copies live in a compact slice ordered
+// by core id; a core's index is the popcount of sharer bits below it,
+// so lookups are a bit test plus a popcount walk over the (summary-
+// pruned) nonzero words. At 1024 cores this replaces the old per-line
+// core->index table (4 KB, one allocation per line) with 128 bytes of
+// slab that grows reslice-in-place alongside the line store.
 package mesi
 
 import (
-	"sort"
+	"math/bits"
 
 	"armbar/internal/topo"
 )
@@ -34,6 +44,14 @@ func LineOf(addr uint64) uint64 { return addr >> LineShift }
 
 // NoCore marks the absence of an owner.
 const NoCore topo.CoreID = -1
+
+// shardShift is log2 of the sharer-bitset word width: 64 cores per
+// uint64 word, so each word spans a contiguous run of whole clusters
+// in the dense hierarchical numbering.
+const (
+	shardShift = 6
+	shardMask  = 63
+)
 
 // staleWords is the inline capacity of a copy's stale snapshot: a line
 // holds eight 8-byte words, so eight aligned addresses cover any
@@ -119,13 +137,17 @@ func (c *Copy) StaleValue(addr uint64) (uint64, bool) {
 }
 
 // line is the directory entry for one cache line. copies is compact
-// (only cores that hold the line); slot maps core -> index+1 into
-// copies, 0 meaning no copy, so CopyAt is two slice indexes.
+// (only cores that hold the line) and ordered by core id: a core's
+// index is the popcount of its line's sharer bits below it, so the
+// slice and the bitset are two views of one set.
 type line struct {
 	owner   topo.CoreID
 	version uint64
-	slot    []int32 // nil until the line is first cached
-	copies  []Copy
+	// atomicFree is when the line's serialization point frees up after
+	// its most recent atomic update (see AcquireAtomic). Zero until the
+	// occupancy model is enabled for the platform.
+	atomicFree float64
+	copies     []Copy
 }
 
 // word is the committed state of one 8-byte memory word.
@@ -137,10 +159,13 @@ type word struct {
 
 // Directory tracks committed memory values and per-line sharing state.
 type Directory struct {
-	sys      *topo.System
-	numCores int
-	lines    []line // indexed by LineOf(addr)
-	words    []word // indexed by addr >> 3
+	sys        *topo.System
+	numCores   int
+	shardWords int      // uint64 sharer words per line: ceil(numCores/64)
+	sharers    []uint64 // flat bitset slab, shardWords per line
+	summary    []uint64 // per-line mask: bit w set iff sharer word w nonzero
+	lines      []line   // indexed by LineOf(addr)
+	words      []word   // indexed by addr >> 3
 
 	// Stats
 	Fetches uint64
@@ -149,7 +174,11 @@ type Directory struct {
 
 // NewDirectory returns an empty directory over the given topology.
 func NewDirectory(sys *topo.System) *Directory {
-	return &Directory{sys: sys, numCores: sys.NumCores()}
+	sw := (sys.NumCores() + shardMask) >> shardShift
+	if sw == 0 {
+		sw = 1
+	}
+	return &Directory{sys: sys, numCores: sys.NumCores(), shardWords: sw}
 }
 
 func wordOf(addr uint64) uint64 { return addr >> 3 }
@@ -191,6 +220,9 @@ func (d *Directory) lineAt(addr uint64) *line {
 	return &d.lines[li]
 }
 
+// growLines extends the line store and its sharer slab together: both
+// reslice in place within capacity, and a capacity doubling reallocates
+// the slab at cap(lines)*shardWords so per-line views stay contiguous.
 func (d *Directory) growLines(li uint64) {
 	if li >= uint64(cap(d.lines)) {
 		n := uint64(cap(d.lines))
@@ -203,12 +235,68 @@ func (d *Directory) growLines(li uint64) {
 		nl := make([]line, len(d.lines), n) //armvet:ignore allocvet — amortized growth, once per address-space doubling
 		copy(nl, d.lines)
 		d.lines = nl
+		ns := make([]uint64, len(d.sharers), n*uint64(d.shardWords)) //armvet:ignore allocvet — amortized growth, once per address-space doubling
+		copy(ns, d.sharers)
+		d.sharers = ns
+		nm := make([]uint64, len(d.summary), n) //armvet:ignore allocvet — amortized growth, once per address-space doubling
+		copy(nm, d.summary)
+		d.summary = nm
 	}
 	old := len(d.lines)
 	d.lines = d.lines[:li+1]
+	d.sharers = d.sharers[:(li+1)*uint64(d.shardWords)]
+	d.summary = d.summary[:li+1]
 	for i := old; i < len(d.lines); i++ {
 		d.lines[i].owner = NoCore
 	}
+}
+
+// lineBits returns the sharer bitset words of line li. Callers must
+// have grown the store past li.
+func (d *Directory) lineBits(li uint64) []uint64 {
+	off := li * uint64(d.shardWords)
+	return d.sharers[off : off+uint64(d.shardWords)]
+}
+
+// sharerWord returns the slab word index and bit mask of a core.
+func sharerWord(core topo.CoreID) (int, uint64) {
+	return int(core) >> shardShift, uint64(1) << (uint(core) & shardMask)
+}
+
+// rank returns a core's index into its line's ordered copies slice:
+// the number of sharer bits strictly below it. The summary mask prunes
+// the walk to nonzero words, so a line shared only within one cluster
+// group pays one popcount no matter how many cores the system has.
+func (d *Directory) rank(li uint64, bs []uint64, core topo.CoreID) int {
+	w := int(core) >> shardShift
+	r := bits.OnesCount64(bs[w] & (uint64(1)<<(uint(core)&shardMask) - 1))
+	for s := d.summary[li] & (uint64(1)<<uint(w) - 1); s != 0; s &= s - 1 {
+		r += bits.OnesCount64(bs[bits.TrailingZeros64(s)])
+	}
+	return r
+}
+
+// AcquireAtomic serializes an atomic read-modify-write on addr's
+// line: it returns the time the update may begin — the later of now
+// and the end of the line's previous atomic — and occupies the line
+// for occ cycles from that point. Atomics are the one access class
+// whose line-side work cannot overlap: the home node applies them one
+// at a time, which is what makes a central arrival counter collapse
+// under fan-in where a latency-only model would predict a flat curve.
+// Callers are serviced in global (time, id) order, so the handoffs
+// computed here are deterministic. Platforms with a zero CostModel
+// RMWOccupancy never call this and keep their latency-only results
+// bit for bit.
+func (d *Directory) AcquireAtomic(addr uint64, now, occ float64) float64 {
+	li := LineOf(addr)
+	d.growLines(li)
+	ln := &d.lines[li]
+	start := now
+	if ln.atomicFree > start {
+		start = ln.atomicFree
+	}
+	ln.atomicFree = start + occ
+	return start
 }
 
 // Committed returns the globally committed value at addr.
@@ -231,41 +319,45 @@ func (d *Directory) CopyAt(core topo.CoreID, addr uint64) *Copy {
 	if li >= uint64(len(d.lines)) {
 		return nil
 	}
-	ln := &d.lines[li]
-	if ln.slot == nil {
+	bs := d.lineBits(li)
+	w, m := sharerWord(core)
+	if bs[w]&m == 0 {
 		return nil
 	}
-	if i := ln.slot[core]; i != 0 {
-		return &ln.copies[i-1]
-	}
-	return nil
+	return &d.lines[li].copies[d.rank(li, bs, core)]
 }
 
-// install gives core a fresh valid copy on ln, reusing the core's
+// install gives core a fresh valid copy on line li, reusing the core's
 // existing Copy slot when it has one: refetches and commit-side
 // reinstalls happen once per store/miss, and recycling the slot (and
-// its stale snapshot) keeps the commit path allocation-free.
-func (d *Directory) install(ln *line, core topo.CoreID, now float64) {
-	if ln.slot == nil {
-		ln.slot = make([]int32, d.numCores) //armvet:ignore allocvet — once per line first caching; reused forever after
-	}
-	if i := ln.slot[core]; i != 0 {
-		cp := &ln.copies[i-1]
+// its stale snapshot) keeps the commit path allocation-free. A first
+// install sets the core's sharer bit and splices the copy in at its
+// rank, keeping copies ordered by core id.
+func (d *Directory) install(li uint64, ln *line, core topo.CoreID, now float64) {
+	bs := d.lineBits(li)
+	w, m := sharerWord(core)
+	if bs[w]&m != 0 {
+		cp := &ln.copies[d.rank(li, bs, core)]
 		cp.FetchedAt = now
 		cp.InvalidatedAt = 0
 		cp.ProcessAt = 0
 		cp.stale.reset()
 		return
 	}
-	ln.copies = append(ln.copies, Copy{FetchedAt: now, core: core}) //armvet:ignore allocvet — once per (core, line) first install; reused forever after
-	ln.slot[core] = int32(len(ln.copies))
+	r := d.rank(li, bs, core)
+	bs[w] |= m
+	d.summary[li] |= uint64(1) << uint(w)
+	ln.copies = append(ln.copies, Copy{}) //armvet:ignore allocvet — once per (core, line) first install; slot reused forever after
+	copy(ln.copies[r+1:], ln.copies[r:])
+	ln.copies[r] = Copy{FetchedAt: now, core: core}
 }
 
 // Fetch installs a fresh valid copy of addr's line at core, effective at
 // time now (after the miss latency has been paid by the caller). Any
 // previous (e.g. invalidated) copy the core held is replaced.
 func (d *Directory) Fetch(core topo.CoreID, addr uint64, now float64) {
-	d.install(d.lineAt(addr), core, now)
+	ln := d.lineAt(addr)
+	d.install(LineOf(addr), ln, core, now)
 	d.Fetches++
 }
 
@@ -318,7 +410,9 @@ func (d *Directory) IsRMR(core topo.CoreID, addr uint64) bool {
 // value until their invalidation is processed) and marked invalid, the
 // committed value is updated, and core becomes the owner with a fresh
 // valid copy. Each newly invalidated copy will be processed by its
-// holder at now+procDelay (stale reads possible until then).
+// holder at now+procDelay (stale reads possible until then). The
+// copies slice is exactly the sharer set, so the invalidation walk
+// touches only cores whose cluster groups hold the line.
 func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, procDelay float64) {
 	ln := d.lineAt(addr)
 	w := d.wordAt(addr)
@@ -339,7 +433,7 @@ func (d *Directory) CommitStore(core topo.CoreID, addr uint64, v uint64, now, pr
 	w.val = v
 	ln.owner = core
 	ln.version++
-	d.install(ln, core, now)
+	d.install(LineOf(addr), ln, core, now)
 	d.Commits++
 }
 
@@ -359,26 +453,26 @@ func (d *Directory) DropCopy(core topo.CoreID, addr uint64) {
 	if li >= uint64(len(d.lines)) {
 		return
 	}
+	bs := d.lineBits(li)
+	w, m := sharerWord(core)
+	if bs[w]&m == 0 {
+		return
+	}
+	r := d.rank(li, bs, core)
+	bs[w] &^= m
+	if bs[w] == 0 {
+		d.summary[li] &^= uint64(1) << uint(w)
+	}
 	ln := &d.lines[li]
-	if ln.slot == nil {
-		return
-	}
-	i := ln.slot[core]
-	if i == 0 {
-		return
-	}
 	last := len(ln.copies) - 1
-	if int(i-1) != last {
-		ln.copies[i-1] = ln.copies[last]
-		ln.slot[ln.copies[i-1].core] = i
-	}
+	copy(ln.copies[r:], ln.copies[r+1:])
 	ln.copies[last] = Copy{}
 	ln.copies = ln.copies[:last]
-	ln.slot[core] = 0
 }
 
 // Sharers returns the cores currently holding any copy (valid or stale)
-// of addr's line, in ascending core order.
+// of addr's line, in ascending core order. The walk is summary-pruned:
+// only nonzero 64-core words are visited.
 func (d *Directory) Sharers(addr uint64) []topo.CoreID {
 	li := LineOf(addr)
 	if li >= uint64(len(d.lines)) {
@@ -388,11 +482,14 @@ func (d *Directory) Sharers(addr uint64) []topo.CoreID {
 	if len(ln.copies) == 0 {
 		return nil
 	}
+	bs := d.lineBits(li)
 	out := make([]topo.CoreID, 0, len(ln.copies))
-	for i := range ln.copies {
-		out = append(out, ln.copies[i].core)
+	for s := d.summary[li]; s != 0; s &= s - 1 {
+		w := bits.TrailingZeros64(s)
+		for b := bs[w]; b != 0; b &= b - 1 {
+			out = append(out, topo.CoreID(w<<shardShift|bits.TrailingZeros64(b)))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -115,6 +115,118 @@ func TestSharersAndDrop(t *testing.T) {
 	}
 }
 
+// bigSys builds a dense 1024-core system (64 clusters of 16 on 4
+// nodes), the largest scale-out preset shape, without importing
+// platform (which would cycle).
+func bigSys() *topo.System {
+	s := topo.New()
+	for cl := 0; cl < 64; cl++ {
+		s.AddCluster(cl/16, topo.Big, 16)
+	}
+	return s
+}
+
+func TestManyCoreSharerBitset(t *testing.T) {
+	d := NewDirectory(bigSys())
+	// Install sharers across several 64-core words, out of id order.
+	cores := []topo.CoreID{1023, 0, 511, 64, 63, 512, 65}
+	for i, c := range cores {
+		d.Fetch(c, 128, float64(i+1))
+	}
+	got := d.Sharers(128)
+	want := []topo.CoreID{0, 63, 64, 65, 511, 512, 1023}
+	if len(got) != len(want) {
+		t.Fatalf("sharers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sharers = %v, want %v (ascending core order)", got, want)
+		}
+	}
+	// Every installed core's copy must be found and valid; absent cores nil.
+	for _, c := range want {
+		if !d.HasValidCopy(c, 128) {
+			t.Fatalf("core %d lost its copy", c)
+		}
+	}
+	if d.CopyAt(66, 128) != nil || d.CopyAt(1022, 128) != nil {
+		t.Fatal("CopyAt found a copy for a core that never fetched")
+	}
+	// Drop a middle-word sharer and one at each extreme; ranks must heal.
+	for _, c := range []topo.CoreID{511, 0, 1023} {
+		d.DropCopy(c, 128)
+		if d.CopyAt(c, 128) != nil {
+			t.Fatalf("core %d still has a copy after DropCopy", c)
+		}
+	}
+	got = d.Sharers(128)
+	want = []topo.CoreID{63, 64, 65, 512}
+	if len(got) != len(want) {
+		t.Fatalf("after drops, sharers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after drops, sharers = %v, want %v", got, want)
+		}
+	}
+	// A commit from a new core invalidates exactly the remaining sharers.
+	d.CommitStore(700, 128, 9, 50, 3)
+	for _, c := range want {
+		cp := d.CopyAt(c, 128)
+		if cp == nil || cp.Valid() {
+			t.Fatalf("core %d not invalidated by remote commit", c)
+		}
+	}
+	if !d.HasValidCopy(700, 128) || d.Owner(128) != 700 {
+		t.Fatal("writer must own a fresh valid copy")
+	}
+}
+
+// TestBitsetCopiesStayOrdered is the structural invariant of the
+// sharded directory: after any install/drop interleaving, the compact
+// copies slice is exactly the bitset's set cores in ascending order,
+// and rank-based lookup returns each core its own copy.
+func TestBitsetCopiesStayOrdered(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := topo.New()
+		for cl := 0; cl < 8; cl++ {
+			s.AddCluster(cl/4, topo.Big, 16) // 128 cores: two sharer words
+		}
+		d := NewDirectory(s)
+		held := map[topo.CoreID]bool{}
+		for i, op := range ops {
+			c := topo.CoreID(op % 128)
+			if op&0x8000 != 0 && held[c] {
+				d.DropCopy(c, 0)
+				delete(held, c)
+			} else {
+				d.Fetch(c, 0, float64(i+1))
+				held[c] = true
+			}
+		}
+		sh := d.Sharers(0)
+		if len(sh) != len(held) {
+			return false
+		}
+		for i, c := range sh {
+			if i > 0 && sh[i-1] >= c {
+				return false // must be strictly ascending
+			}
+			if !held[c] {
+				return false
+			}
+			cp := d.CopyAt(c, 0)
+			if cp == nil || cp.core != c {
+				return false // rank lookup returned someone else's copy
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPropertySingleOwnerLastWriterWins(t *testing.T) {
 	// Property: after any commit sequence, Committed equals the last
 	// write and Owner is the last writer.

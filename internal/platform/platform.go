@@ -58,6 +58,17 @@ type CostModel struct {
 	BarrierTxnSameNode    float64
 	BarrierTxnCrossNode   float64
 
+	// RMWOccupancy is how long an atomic read-modify-write occupies its
+	// cache line's serialization point: the line's home applies atomics
+	// one at a time, so concurrent RMWs to one line queue behind each
+	// other by this many cycles each. Zero disables the occupancy model
+	// entirely (no directory call, bit-identical latency-only results);
+	// the paper's calibrated platforms keep it off because none of the
+	// paper's experiments fan enough atomics into one line for it to
+	// matter, while the synthetic scale-out presets enable it — without
+	// it a 1024-thread central counter barrier would scale flat.
+	RMWOccupancy float64
+
 	// SyncTxn is the round-trip of a DSB *synchronization barrier
 	// transaction* to the inner domain boundary. It does not depend on
 	// where the sharers are (Obs 5: "DSB does not benefit from the
@@ -226,11 +237,19 @@ func All() []*Platform {
 }
 
 // ByName returns the platform with the given name (case-sensitive,
-// matching the Name field) or nil.
+// matching the Name field) or nil. Besides the study platforms it
+// resolves the synthetic scale-out family ("ScaleOut64" ..
+// "ScaleOut1024"), which stays out of All() so Table 2 output is
+// untouched.
 func ByName(name string) *Platform {
 	for _, p := range All() {
 		if p.Name == name {
 			return p
+		}
+	}
+	for _, n := range ScaleOutCores {
+		if name == fmt.Sprintf("ScaleOut%d", n) {
+			return MustScaleOut(n)
 		}
 	}
 	return nil

@@ -1,0 +1,61 @@
+package platform
+
+import (
+	"fmt"
+
+	"armbar/internal/topo"
+)
+
+// This file defines the synthetic scale-out platforms for the
+// many-core barrier experiments. They are deliberately NOT part of
+// All(): All() is the paper's Table 2 and feeds golden-digest output,
+// so the scale-out family lives beside it and is reachable through
+// ByName (e.g. "ScaleOut256") and ScaleOut.
+
+// ScaleOutCores lists the supported scale-out platform sizes, in
+// ascending order (the topo presets).
+var ScaleOutCores = []int{64, 256, 1024}
+
+// ScaleOut returns a synthetic n-core server platform over
+// topo.Preset(n). The cost model extends the Kunpeng 916 calibration —
+// the study's only server-class interconnect — keeping the per-hop
+// relations (cluster < node << cross-node, DSB worst) while making the
+// cross-node fabric a mesh-style interconnect whose costs do not blow
+// up with the node count: the point of the barrier zoo is to compare
+// software barrier algorithms on fixed hardware costs, as the
+// 1024-core RISC-V study does.
+func ScaleOut(n int) (*Platform, error) {
+	sys, err := topo.Preset(n)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	base := Kunpeng916().Cost
+	// A scale-out fabric amortizes the cross-node path better than the
+	// 916's Hydra interface: still the dominant cost, but not 5x the
+	// node-local miss.
+	base.MissCrossNode = 150
+	base.BarrierTxnCrossNode = 160
+	base.SyncTxn = 360
+	// The scale-out presets enable the atomic occupancy model: with
+	// hundreds of cores fanning fetch-adds into one arrival counter the
+	// line's serialization point, not the miss latency, is what decides
+	// the scaling shape. The calibrated platforms keep it off (zero) so
+	// the paper's reproduced figures stay bit-identical.
+	base.RMWOccupancy = 24
+	return &Platform{
+		Name:         fmt.Sprintf("ScaleOut%d", n),
+		Arch:         fmt.Sprintf("synthetic ARM server %dx", n),
+		Interconnect: "mesh (synthetic)",
+		Sys:          sys,
+		Cost:         base,
+	}, nil
+}
+
+// MustScaleOut is ScaleOut for the compiled-in ScaleOutCores sizes.
+func MustScaleOut(n int) *Platform {
+	p, err := ScaleOut(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -168,6 +168,13 @@ func (b *Builder) SpinEQ(o Operand, v uint64, padNops int) { b.spin(SpinEQ, o, v
 // SpinNE appends a spin that loads o until the value differs from v.
 func (b *Builder) SpinNE(o Operand, v uint64, padNops int) { b.spin(SpinNE, o, v, padNops) }
 
+// SpinGE appends a spin that loads o until the value reaches v. This
+// is the epoch-safe wait the barrier algorithms use: a monotone
+// counter or epoch flag may be advanced past v by other threads
+// before a slow spinner polls again, so waiting for >= v never hangs
+// where an exact-match spin would.
+func (b *Builder) SpinGE(o Operand, v uint64, padNops int) { b.spin(SpinGE, o, v, padNops) }
+
 func (b *Builder) spin(code Code, o Operand, v uint64, padNops int) {
 	at := int32(len(b.p.Ops))
 	if padNops > 0 {

@@ -40,6 +40,7 @@ const (
 	CAS                    // LSE compare-and-swap
 	SpinEQ                 // relaxed load; fall through until value == Val, then jump to Target
 	SpinNE                 // relaxed load; fall through until value != Val, then jump to Target
+	SpinGE                 // relaxed load; fall through until value >= Val, then jump to Target
 
 	// Free control codes: pure pc/counter updates, no simulated time,
 	// no dispatch — they correspond to Go-level control flow in the
@@ -59,7 +60,7 @@ func (c Code) IsControl() bool { return c == Jump || c == LoopEnd }
 
 var codeNames = [NumCodes]string{
 	"load", "loadacq", "loadacqpc", "store", "storerel", "barrier",
-	"work", "fetchadd", "swap", "cas", "spin_eq", "spin_ne",
+	"work", "fetchadd", "swap", "cas", "spin_eq", "spin_ne", "spin_ge",
 	"jump", "loopend",
 }
 
@@ -138,7 +139,7 @@ func (p *Program) Validate() error {
 			if err := p.checkOperand(op); err != nil {
 				return bad("%v", err)
 			}
-		case SpinEQ, SpinNE:
+		case SpinEQ, SpinNE, SpinGE:
 			if err := p.checkOperand(op); err != nil {
 				return bad("%v", err)
 			}

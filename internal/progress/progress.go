@@ -18,6 +18,7 @@ package progress
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -185,7 +186,11 @@ func (t *Tracker) Snapshot() Report {
 		end = t.finished
 	}
 	r.ElapsedSeconds = end.Sub(t.start).Seconds()
-	if r.ElapsedSeconds > 0 {
+	// Rates need a minimum window: a snapshot taken microseconds into
+	// the run (the first /progress poll, or a fully cache-served start)
+	// would otherwise divide a handful of cells by near-zero elapsed
+	// and report millions of cells per second.
+	if r.ElapsedSeconds >= minRateWindow {
 		r.CellsPerSecond = float64(done+cached) / r.ElapsedSeconds
 	}
 
@@ -208,11 +213,27 @@ func (t *Tracker) Snapshot() Report {
 	// so extrapolate from the average wall time of completed
 	// experiments. Crude but honest — it converges as the run proceeds
 	// and is omitted (zero) until the first experiment lands.
-	if remaining := r.ExperimentsTotal - r.ExperimentsDone; remaining > 0 && r.ExperimentsDone > 0 && r.State == StateRunning {
-		r.ETASeconds = wallDone / float64(r.ExperimentsDone) * float64(remaining)
+	// The same window guards the ETA: inside it the completed wall
+	// times are cache-hit noise, and the extrapolation below would
+	// project that noise over the whole run. Clamp non-finite results
+	// (a defensive rail — wall times are measured, but a poisoned
+	// FinishExperiment input must not serve NaN to pollers).
+	if remaining := r.ExperimentsTotal - r.ExperimentsDone; remaining > 0 && r.ExperimentsDone > 0 &&
+		r.State == StateRunning && r.ElapsedSeconds >= minRateWindow {
+		eta := wallDone / float64(r.ExperimentsDone) * float64(remaining)
+		if math.IsNaN(eta) || math.IsInf(eta, 0) || eta < 0 {
+			eta = 0
+		}
+		r.ETASeconds = eta
 	}
 	return r
 }
+
+// minRateWindow is how much wall time must elapse before Snapshot
+// reports rate-derived fields (cells/s, ETA). Below it the divisors
+// are a race between the first poll and the run's first scheduling
+// quantum, and the quotients are garbage.
+const minRateWindow = 0.1 // seconds
 
 func minu(a, b uint64) uint64 {
 	if a < b {

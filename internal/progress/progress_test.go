@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"armbar/internal/progress"
 	"armbar/internal/runner"
@@ -37,7 +38,11 @@ func TestExperimentLifecycle(t *testing.T) {
 	if r.ExperimentsDone != 1 {
 		t.Fatalf("done count %d", r.ExperimentsDone)
 	}
-	// One of three experiments done: ETA extrapolates to the two left.
+	// One of three experiments done: ETA extrapolates to the two left —
+	// once the first-window guard is past (rate fields are suppressed
+	// while the run is younger than its minimum sampling window).
+	time.Sleep(120 * time.Millisecond)
+	r = tr.Snapshot()
 	if r.ETASeconds <= 0 {
 		t.Fatalf("no ETA after first completed experiment: %+v", r)
 	}

@@ -1,0 +1,75 @@
+package progress
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box tests for the first-window guard: they backdate the
+// tracker's start to simulate elapsed time without sleeping.
+
+func (t *Tracker) backdate(d time.Duration) {
+	t.mu.Lock()
+	t.start = t.start.Add(-d)
+	t.mu.Unlock()
+}
+
+func TestFirstWindowSuppressesRates(t *testing.T) {
+	tr := New([]string{"a", "b"})
+	// Cells land immediately (a warm cache does exactly this), and the
+	// first experiment finishes with ~zero wall time.
+	for i := 0; i < 5; i++ {
+		tr.CellQueued()
+		tr.CellStarted()
+		tr.CellDone()
+	}
+	tr.FinishExperiment("a", 5, 5, 0.000001)
+	r := tr.Snapshot()
+	if r.ElapsedSeconds >= minRateWindow {
+		t.Skip("snapshot took longer than the rate window; nothing to assert")
+	}
+	if r.CellsPerSecond != 0 {
+		t.Errorf("CellsPerSecond = %f inside the first window, want 0", r.CellsPerSecond)
+	}
+	if r.ETASeconds != 0 {
+		t.Errorf("ETASeconds = %f inside the first window, want 0", r.ETASeconds)
+	}
+}
+
+func TestRatesAppearAfterWindow(t *testing.T) {
+	tr := New([]string{"a", "b"})
+	for i := 0; i < 10; i++ {
+		tr.CellQueued()
+		tr.CellStarted()
+		tr.CellDone()
+	}
+	tr.FinishExperiment("a", 10, 0, 2.0)
+	tr.backdate(4 * time.Second)
+	r := tr.Snapshot()
+	if r.CellsPerSecond <= 0 {
+		t.Errorf("CellsPerSecond = %f after the window, want > 0", r.CellsPerSecond)
+	}
+	if r.ETASeconds <= 0 {
+		t.Errorf("ETASeconds = %f with one experiment done and one queued, want > 0", r.ETASeconds)
+	}
+}
+
+func TestETAClampsNonFinite(t *testing.T) {
+	tr := New([]string{"a", "b"})
+	tr.FinishExperiment("a", 1, 0, nan())
+	tr.backdate(time.Second)
+	if r := tr.Snapshot(); r.ETASeconds != 0 {
+		t.Errorf("ETASeconds = %f from a NaN wall time, want clamped 0", r.ETASeconds)
+	}
+	tr2 := New([]string{"a", "b"})
+	tr2.FinishExperiment("a", 1, 0, -5)
+	tr2.backdate(time.Second)
+	if r := tr2.Snapshot(); r.ETASeconds != 0 {
+		t.Errorf("ETASeconds = %f from a negative wall time, want clamped 0", r.ETASeconds)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

@@ -21,7 +21,8 @@ import (
 // Op is one step of a thread's loop.
 type Op struct {
 	// Op selects the action: load, loadacq, loadacqpc, store, storerel,
-	// fetchadd, swap, cas, barrier, nops, work, spin_eq, spin_ne.
+	// fetchadd, swap, cas, barrier, nops, work, spin_eq, spin_ne,
+	// spin_ge.
 	Op string `json:"op"`
 	// Var names the shared variable for memory ops.
 	Var string `json:"var,omitempty"`
@@ -107,7 +108,7 @@ func (s *Spec) Validate() error {
 		for oi, op := range th.Ops {
 			switch op.Op {
 			case "load", "loadacq", "loadacqpc", "store", "storerel",
-				"fetchadd", "swap", "cas", "spin_eq", "spin_ne":
+				"fetchadd", "swap", "cas", "spin_eq", "spin_ne", "spin_ge":
 				if !vars[op.Var] {
 					return fmt.Errorf("scenario: thread %d op %d: unknown var %q", ti, oi, op.Var)
 				}
@@ -237,6 +238,8 @@ func compileThread(th ThreadSpec, loops int, addr map[string]uint64, issueWidth 
 			b.SpinEQ(a, op.Value, spinPadNops)
 		case "spin_ne":
 			b.SpinNE(a, op.Value, spinPadNops)
+		case "spin_ge":
+			b.SpinGE(a, op.Value, spinPadNops)
 		}
 	}
 	b.EndLoop()
@@ -277,6 +280,12 @@ func runOp(t *sim.Thread, op Op, addr map[string]uint64) {
 		}
 	case "spin_ne":
 		for t.Load(a) == op.Value {
+			t.Nops(4)
+		}
+	case "spin_ge":
+		// Wait until the variable reaches Value (epoch-safe: the value
+		// may be advanced past the target between polls).
+		for t.Load(a) < op.Value {
 			t.Nops(4)
 		}
 	}

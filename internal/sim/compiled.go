@@ -216,6 +216,7 @@ var opExec = [prog.NumCodes]func(*Machine, *Thread, *execEnv, *prog.Op) bool{
 	prog.CAS:       execCAS,
 	prog.SpinEQ:    execSpinEQ,
 	prog.SpinNE:    execSpinNE,
+	prog.SpinGE:    execSpinGE,
 }
 
 func execLoad(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
@@ -363,6 +364,21 @@ func execSpinNE(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
 	t.spinning = false
 	m.emit(t, TraceLoad, a, start, t.now, "")
 	if v != op.Val {
+		e.pc = op.Target
+	} else {
+		e.pc++
+	}
+	return true
+}
+
+func execSpinGE(m *Machine, t *Thread, e *execEnv, op *prog.Op) bool {
+	start := t.now
+	a := e.addr(op)
+	t.spinning = true
+	v := m.doLoad(t, a, false)
+	t.spinning = false
+	m.emit(t, TraceLoad, a, start, t.now, "")
+	if v >= op.Val {
 		e.pc = op.Target
 	} else {
 		e.pc++

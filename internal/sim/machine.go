@@ -108,8 +108,12 @@ type Machine struct {
 	// experiment cell performs a handful of slab allocations instead of
 	// one heap object per thread and per in-flight store. Pointers into
 	// a chunk stay valid because chunks are never reallocated, only new
-	// ones appended.
-	threadArena []Thread
+	// ones appended. Thread slabs grow exponentially (threadChunkMin up
+	// to threadChunkMax) so a 1024-thread machine costs a handful of
+	// allocations, and entries are padded to whole cache lines so one
+	// thread's scheduler atomics never false-share with its neighbor's.
+	threadArena []paddedThread
+	threadSlab  int // next thread slab size (0 = start at threadChunkMin)
 	evArena     []event
 
 	events  eventHeap
@@ -311,21 +315,49 @@ func (m *Machine) apply(ev *event) {
 // guards against pathological configurations.
 const maxFreeEvents = 1024
 
-// threadChunk and eventChunk size the arena slabs. Thread slabs cover
-// the common machine shapes (2-thread models, small lock sweeps) in
-// one allocation; event slabs amortize the pre-freelist warmup of the
-// commit pipeline.
+// threadChunkMin/Max and eventChunk size the arena slabs. The first
+// thread slab covers the common machine shapes (2-thread models, small
+// lock sweeps) in one allocation; each further slab doubles, capped so
+// the scale-out shapes (64–1024 threads) amortize to a few slabs
+// without overshooting by more than one cap's worth of memory. Event
+// slabs amortize the pre-freelist warmup of the commit pipeline.
 const (
-	threadChunk = 8
-	eventChunk  = 32
+	threadChunkMin = 8
+	threadChunkMax = 256
+	eventChunk     = 32
 )
 
-// threadSlot carves one thread out of the machine's arena.
+// threadLine is the false-sharing unit threads are padded to. A parked
+// thread's gstate word is spun on and CAS'd by itself and its waker;
+// rounding each arena entry to whole cache lines keeps that traffic off
+// every other thread's hot state.
+const threadLine = 64
+
+// paddedThread separates adjacent arena threads by one full dead cache
+// line. Any two bytes inside the same 64-byte-aligned line are less
+// than threadLine apart, so a gap of at least threadLine guarantees no
+// line ever holds live bytes of two threads — without computing
+// Thread's exact size (a Sizeof-in-array-length here would form an
+// invalid recursive type through Machine.threadArena). The 64-byte
+// overhead is noise next to the multi-KB Thread.
+type paddedThread struct {
+	t Thread
+	_ [threadLine]byte
+}
+
+// threadSlot carves one thread out of the machine's arena, growing the
+// slab size exponentially between refills.
 func (m *Machine) threadSlot() *Thread {
 	if len(m.threadArena) == 0 {
-		m.threadArena = make([]Thread, threadChunk)
+		switch {
+		case m.threadSlab == 0:
+			m.threadSlab = threadChunkMin
+		case m.threadSlab < threadChunkMax:
+			m.threadSlab *= 2
+		}
+		m.threadArena = make([]paddedThread, m.threadSlab)
 	}
-	t := &m.threadArena[0]
+	t := &m.threadArena[0].t
 	m.threadArena = m.threadArena[1:]
 	return t
 }

@@ -285,6 +285,14 @@ func (m *Machine) process(r *request) bool {
 //
 // armvet:holds mu
 func (m *Machine) doRMW(t *Thread, kind opKind, addr, value, value2 uint64) uint64 {
+	if occ := m.cost.RMWOccupancy; occ > 0 {
+		// Occupancy model (scale-out platforms): atomics to one line
+		// serialize at the line's home. Queue behind the previous one
+		// before reading the committed value.
+		if start := m.dir.AcquireAtomic(addr, t.now, occ); start > t.now {
+			t.advTo(CauseAtomic, start)
+		}
+	}
 	old := m.dir.Committed(addr)
 	commitAt := t.now + 1
 	d := m.dir.AccessDistance(t.core, addr)

@@ -15,8 +15,10 @@ package simbench
 import (
 	"testing"
 
+	"armbar/internal/barrier"
 	"armbar/internal/cellcache"
 	"armbar/internal/isa"
+	"armbar/internal/mesi"
 	"armbar/internal/platform"
 	"armbar/internal/prog"
 	"armbar/internal/sim"
@@ -38,6 +40,11 @@ var Benches = []Bench{
 	{"BenchmarkStoreDMBFull", StoreDMBFull},
 	{"BenchmarkCompiledDispatch", CompiledDispatch},
 	{"BenchmarkCellCacheHit", CellCacheHit},
+	{"BenchmarkDirectoryRank1024", DirectoryRank1024},
+	{"BenchmarkDirectorySharerChurn1024", DirectorySharerChurn1024},
+	{"BenchmarkBarrierScale64", BarrierScale64},
+	{"BenchmarkBarrierScale256", BarrierScale256},
+	{"BenchmarkBarrierScale1024", BarrierScale1024},
 }
 
 func newBenchMachine() *sim.Machine {
@@ -155,6 +162,83 @@ func CompiledDispatch(b *testing.B) {
 	b.ResetTimer()
 	m.Run()
 }
+
+// DirectoryRank1024 measures the sharer-bitset rank lookup at maximum
+// occupancy: CopyAt on a line all 1024 cores of the largest scale-out
+// preset share. rank walks the summary-pruned bitset words — this is
+// the per-access cost every load/commit/invalidate pays at full
+// fan-in, and it must stay allocation-free (allocvet pins rank,
+// lineBits and sharerWord).
+func DirectoryRank1024(b *testing.B) {
+	plat := platform.MustScaleOut(1024)
+	d := mesi.NewDirectory(plat.Sys)
+	n := plat.Sys.NumCores()
+	const addr = 64
+	for c := 0; c < n; c++ {
+		d.Fetch(topo.CoreID(c), addr, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.CopyAt(topo.CoreID(i&(n-1)), addr) == nil {
+			b.Fatal("seeded sharer missing")
+		}
+	}
+}
+
+// DirectorySharerChurn1024 measures the invalidate-refetch churn path
+// on a fully shared line: per op one core drops its copy and fetches
+// it back, paying two rank walks, the bitset clear/set, and the
+// ordered-copies splice. The copies slice reaches its 1024-slot
+// capacity during setup, so steady state allocates nothing.
+func DirectorySharerChurn1024(b *testing.B) {
+	plat := platform.MustScaleOut(1024)
+	d := mesi.NewDirectory(plat.Sys)
+	n := plat.Sys.NumCores()
+	const addr = 64
+	for c := 0; c < n; c++ {
+		d.Fetch(topo.CoreID(c), addr, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := topo.CoreID(i & (n - 1))
+		d.DropCopy(core, addr)
+		d.Fetch(core, addr, float64(i))
+	}
+}
+
+// barrierScale runs the sense-reversing barrier on the n-core
+// scale-out preset with the round count sized so one benchmark op is
+// one thread-round (rounds*threads >= b.N): ns/op is directly
+// comparable across the three core counts, and the simulator's
+// one-time growth allocations amortize to zero per op. Program build
+// and thread spawn happen before the timer; only the machine run is
+// measured.
+func barrierScale(b *testing.B, n int) {
+	rounds := (b.N + n - 1) / n
+	m, err := barrier.Spawn(barrier.SenseReversing, barrier.Config{
+		Plat: platform.MustScaleOut(n), Threads: n, Rounds: rounds, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+}
+
+// BarrierScale64 is the sense-reversing barrier at 64 cores, one
+// thread-round per op.
+func BarrierScale64(b *testing.B) { barrierScale(b, 64) }
+
+// BarrierScale256 is the sense-reversing barrier at 256 cores.
+func BarrierScale256(b *testing.B) { barrierScale(b, 256) }
+
+// BarrierScale1024 is the sense-reversing barrier at 1024 cores — the
+// scale the sharded directory bitsets and padded thread slabs exist
+// for.
+func BarrierScale1024(b *testing.B) { barrierScale(b, 1024) }
 
 // CellCacheHit measures the result cache's per-cell lookup on a hit —
 // the SHA-256 key build plus the map probe every warm cell pays before

@@ -1,0 +1,119 @@
+package topo
+
+import "fmt"
+
+// This file builds the hierarchical scale-out topologies for the
+// many-core barrier experiments: dense homogeneous systems far larger
+// than the study platforms, shaped like them (clusters behind inner
+// bi-section boundaries, grouped onto NUMA nodes behind the inner
+// domain boundary) so the ACE distance model applies unchanged.
+
+// Hierarchical builds a dense scale-out topology: cores split into
+// clusters of clusterSize, clusters assigned in order to NUMA nodes,
+// clustersPerNode per node. Cores are numbered densely cluster by
+// cluster, so every 64-core run (one mesi sharer word) covers whole
+// clusters whenever clusterSize divides 64. The result is Validated
+// before being returned.
+func Hierarchical(cores, clusterSize, clustersPerNode int) (*System, error) {
+	switch {
+	case cores <= 0:
+		return nil, fmt.Errorf("topo: hierarchical system needs at least one core, got %d", cores)
+	case clusterSize <= 0:
+		return nil, fmt.Errorf("topo: cluster size must be positive, got %d", clusterSize)
+	case clustersPerNode <= 0:
+		return nil, fmt.Errorf("topo: clusters per node must be positive, got %d", clustersPerNode)
+	case cores%clusterSize != 0:
+		return nil, fmt.Errorf("topo: %d cores not divisible into clusters of %d", cores, clusterSize)
+	}
+	nClusters := cores / clusterSize
+	if nClusters%clustersPerNode != 0 {
+		return nil, fmt.Errorf("topo: %d clusters not divisible into nodes of %d", nClusters, clustersPerNode)
+	}
+	s := New()
+	for cl := 0; cl < nClusters; cl++ {
+		s.AddCluster(cl/clustersPerNode, Big, clusterSize)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Preset returns the canonical scale-out topology for the supported
+// core counts. The shapes keep cluster fan-out realistic as the core
+// count grows (the 64-core preset is the Kunpeng 916 shape; the larger
+// ones widen both the cluster and the per-node fan-out):
+//
+//	64   -> 2 nodes x 8 clusters x 4 cores
+//	256  -> 4 nodes x 8 clusters x 8 cores
+//	1024 -> 4 nodes x 16 clusters x 16 cores
+//
+// Use Hierarchical directly for a custom fan-out.
+func Preset(cores int) (*System, error) {
+	switch cores {
+	case 64:
+		return Hierarchical(64, 4, 8)
+	case 256:
+		return Hierarchical(256, 8, 8)
+	case 1024:
+		return Hierarchical(1024, 16, 16)
+	}
+	return nil, fmt.Errorf("topo: no scale-out preset for %d cores (have 64, 256, 1024)", cores)
+}
+
+// MustPreset is Preset for the known-good compiled-in core counts.
+func MustPreset(cores int) *System {
+	s, err := Preset(cores)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks the structural invariants every consumer of a System
+// assumes: cores numbered densely from 0 in cluster order, the
+// core->cluster map consistent with the cluster core lists, no empty
+// clusters, node ids forming contiguous runs that together cover
+// 0..NumNodes-1. The Add* builders maintain all of these except the
+// node ordering, so Validate is cheap insurance for hand-built and
+// generated topologies alike.
+func (s *System) Validate() error {
+	if len(s.clusters) == 0 {
+		return fmt.Errorf("topo: system has no clusters")
+	}
+	next := CoreID(0)
+	prevNode := 0
+	seen := make([]bool, s.nodes)
+	for i := range s.clusters {
+		cl := &s.clusters[i]
+		if len(cl.Cores) == 0 {
+			return fmt.Errorf("topo: cluster %d is empty", i)
+		}
+		if cl.Node < 0 || cl.Node >= s.nodes {
+			return fmt.Errorf("topo: cluster %d on node %d, outside [0,%d)", i, cl.Node, s.nodes)
+		}
+		if cl.Node < prevNode {
+			return fmt.Errorf("topo: cluster %d on node %d after node %d — node core ranges must be contiguous", i, cl.Node, prevNode)
+		}
+		prevNode = cl.Node
+		seen[cl.Node] = true
+		for _, c := range cl.Cores {
+			if c != next {
+				return fmt.Errorf("topo: cluster %d holds core %d, want %d — numbering must be dense in cluster order", i, c, next)
+			}
+			if int(c) >= len(s.core2cl) || s.core2cl[c] != i {
+				return fmt.Errorf("topo: core %d maps to cluster %d, listed in cluster %d", c, s.core2cl[c], i)
+			}
+			next++
+		}
+	}
+	if int(next) != len(s.core2cl) {
+		return fmt.Errorf("topo: %d cores mapped but %d listed in clusters", len(s.core2cl), next)
+	}
+	for n, ok := range seen {
+		if !ok {
+			return fmt.Errorf("topo: node %d has no clusters", n)
+		}
+	}
+	return nil
+}

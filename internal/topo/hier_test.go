@@ -1,0 +1,168 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// presetShape pins the canonical scale-out fan-outs.
+var presetShape = map[int]struct {
+	clusterSize int
+	clusters    int
+	nodes       int
+}{
+	64:   {4, 16, 2},
+	256:  {8, 32, 4},
+	1024: {16, 64, 4},
+}
+
+func TestPresetShapes(t *testing.T) {
+	for cores, want := range presetShape {
+		s, err := Preset(cores)
+		if err != nil {
+			t.Fatalf("Preset(%d): %v", cores, err)
+		}
+		if s.NumCores() != cores {
+			t.Errorf("Preset(%d): %d cores", cores, s.NumCores())
+		}
+		if s.NumClusters() != want.clusters {
+			t.Errorf("Preset(%d): %d clusters, want %d", cores, s.NumClusters(), want.clusters)
+		}
+		if s.NumNodes() != want.nodes {
+			t.Errorf("Preset(%d): %d nodes, want %d", cores, s.NumNodes(), want.nodes)
+		}
+		for i := 0; i < s.NumClusters(); i++ {
+			if got := len(s.ClusterCores(i)); got != want.clusterSize {
+				t.Fatalf("Preset(%d): cluster %d has %d cores, want %d", cores, i, got, want.clusterSize)
+			}
+		}
+	}
+	if _, err := Preset(100); err == nil {
+		t.Error("Preset(100) must fail: no such scale-out preset")
+	}
+}
+
+// TestPresetDenseNumbering checks the invariant the mesi sharer-word
+// sharding relies on: core ids are dense, cluster by cluster, so any
+// aligned 64-core run covers whole clusters.
+func TestPresetDenseNumbering(t *testing.T) {
+	for cores := range presetShape {
+		s := MustPreset(cores)
+		next := CoreID(0)
+		for i := 0; i < s.NumClusters(); i++ {
+			for _, c := range s.ClusterCores(i) {
+				if c != next {
+					t.Fatalf("Preset(%d): cluster %d core %d, want %d", cores, i, c, next)
+				}
+				if s.Cluster(c) != i {
+					t.Fatalf("Preset(%d): core %d maps to cluster %d, listed in %d", cores, c, s.Cluster(c), i)
+				}
+				next++
+			}
+		}
+		if int(next) != cores {
+			t.Fatalf("Preset(%d): only %d cores enumerated", cores, next)
+		}
+		// 64-core words align with cluster boundaries: a cluster never
+		// straddles a word when its size divides 64.
+		for i := 0; i < s.NumClusters(); i++ {
+			cs := s.ClusterCores(i)
+			if cs[0]>>6 != cs[len(cs)-1]>>6 {
+				t.Fatalf("Preset(%d): cluster %d straddles a 64-core sharer word", cores, i)
+			}
+		}
+	}
+}
+
+// TestPresetACEBoundaries validates the presets against the ACE
+// distance model: the same boundary classification the barrier cost
+// model pays for (inner bi-section = cluster, inner domain = node).
+func TestPresetACEBoundaries(t *testing.T) {
+	for cores := range presetShape {
+		s := MustPreset(cores)
+		// Same core.
+		if d := s.DistanceBetween(0, 0); d != SameCore {
+			t.Fatalf("Preset(%d): self distance %v", cores, d)
+		}
+		// First and last core of cluster 0 share its bi-section boundary.
+		c0 := s.ClusterCores(0)
+		if d := s.DistanceBetween(c0[0], c0[len(c0)-1]); d != SameCluster {
+			t.Fatalf("Preset(%d): intra-cluster distance %v", cores, d)
+		}
+		// Adjacent clusters on node 0 meet at the node interconnect.
+		c1 := s.ClusterCores(1)
+		if s.Node(c0[0]) != s.Node(c1[0]) {
+			t.Fatalf("Preset(%d): clusters 0 and 1 on different nodes", cores)
+		}
+		if d := s.DistanceBetween(c0[0], c1[0]); d != SameNode {
+			t.Fatalf("Preset(%d): intra-node distance %v", cores, d)
+		}
+		// First core of node 0 vs first core of the last node crosses the
+		// inner domain boundary.
+		lastNode := s.NodeCores(s.NumNodes() - 1)
+		if d := s.DistanceBetween(c0[0], lastNode[0]); d != CrossNode {
+			t.Fatalf("Preset(%d): cross-node distance %v", cores, d)
+		}
+		// Node core ranges are contiguous and cover everything once.
+		total := 0
+		for n := 0; n < s.NumNodes(); n++ {
+			nc := s.NodeCores(n)
+			for i := 1; i < len(nc); i++ {
+				if nc[i] != nc[i-1]+1 {
+					t.Fatalf("Preset(%d): node %d core range not contiguous at %d", cores, n, nc[i])
+				}
+			}
+			total += len(nc)
+		}
+		if total != cores {
+			t.Fatalf("Preset(%d): node ranges cover %d cores", cores, total)
+		}
+	}
+}
+
+func TestHierarchicalValidationErrors(t *testing.T) {
+	cases := []struct {
+		cores, clusterSize, perNode int
+		wantErr                     string
+	}{
+		{0, 4, 4, "at least one core"},
+		{64, 0, 4, "cluster size"},
+		{64, 4, 0, "clusters per node"},
+		{100, 8, 4, "not divisible into clusters"},
+		{64, 4, 5, "not divisible into nodes"},
+	}
+	for _, c := range cases {
+		_, err := Hierarchical(c.cores, c.clusterSize, c.perNode)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Hierarchical(%d,%d,%d) error = %v, want containing %q",
+				c.cores, c.clusterSize, c.perNode, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenSystems(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Error("empty system must fail validation")
+	}
+	// The study presets built with AddCluster must pass.
+	s := New()
+	s.AddCluster(0, Big, 4)
+	s.AddCluster(0, Little, 4)
+	s.AddCluster(1, Big, 4)
+	if err := s.Validate(); err != nil {
+		t.Errorf("well-formed system failed validation: %v", err)
+	}
+	// Out-of-order node assignment breaks the contiguous-range invariant.
+	bad := New()
+	bad.AddCluster(1, Big, 2)
+	bad.AddCluster(0, Big, 2)
+	if err := bad.Validate(); err == nil {
+		t.Error("non-contiguous node ranges must fail validation")
+	}
+	// A node index gap leaves node 0 empty.
+	gap := New()
+	gap.AddCluster(1, Big, 2)
+	if err := gap.Validate(); err == nil {
+		t.Error("system with an empty node must fail validation")
+	}
+}
