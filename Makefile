@@ -11,7 +11,7 @@ GO ?= go
 # 256-core barrier smoke under the race detector so the many-core
 # scheduler path is exercised at scale on every merge.
 .PHONY: verify
-verify: build vet lint test race scalecheck profilecheck cachecheck perfcheck
+verify: build vet lint test race scalecheck profilecheck cachecheck fencecheck perfcheck
 
 .PHONY: build
 build:
@@ -22,8 +22,9 @@ vet:
 	$(GO) vet ./...
 
 # Static-analysis gate: the armvet pass suite (determvet, lockvet,
-# atomicvet, allocvet, metricvet) must run clean over the module. Suppress a
-# deliberate violation with //armvet:ignore <pass> and a reason.
+# atomicvet, allocvet, metricvet, progvet) must run clean over the
+# module. Suppress a deliberate violation with //armvet:ignore <pass>
+# and a reason.
 .PHONY: lint
 lint:
 	./scripts/lint.sh
@@ -66,6 +67,16 @@ cachecheck:
 .PHONY: profilecheck
 profilecheck:
 	$(GO) test -run 'TestProfileConservation' -timeout 30m ./internal/sim ./internal/figures
+
+# Fence-verification gate: the reorder-bounded explorer must agree
+# with absmodel's closed-form fence requirements on every placement of
+# every litmus shape, machine-check the Pilot barrier removal (armvet
+# fencevet), and stay a sound over-approximation of what the simulator
+# samples (the explore package's agreement and determinism tests).
+.PHONY: fencecheck
+fencecheck:
+	$(GO) run ./cmd/armvet fencevet
+	$(GO) test -run 'TestFormulaAgreement|TestSimAgreement|TestPinnedAnomalies|TestCompiledParityShapes|TestSeedIndependentVerdicts' ./internal/explore
 
 # Live-observability smoke: run `-quick` with -serve against a cold
 # cache and curl /healthz, /metrics and /progress while it runs.

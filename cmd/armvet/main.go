@@ -1,10 +1,16 @@
 // Command armvet runs the armbar static-analysis suite (determvet,
-// lockvet, atomicvet, allocvet, metricvet) over package patterns and exits
-// nonzero if any finding survives //armvet:ignore suppression.
+// lockvet, atomicvet, allocvet, metricvet, progvet) over package
+// patterns and exits nonzero if any finding survives //armvet:ignore
+// suppression. The fencevet subcommand verifies fence placements
+// instead of source: it explores every litmus shape's placement
+// lattice under the reorder-bounded semantics and cross-checks the
+// verdicts against absmodel's closed-form requirements (see
+// internal/explore).
 //
 //	armvet ./...          # what make lint runs
 //	armvet -list          # describe the passes
 //	armvet internal/sim   # one directory
+//	armvet fencevet       # what make fencecheck runs
 //
 // See internal/analysis for the pass semantics and the annotation
 // directives (armvet:guardedby, armvet:holds, armvet:hotpath,
@@ -28,6 +34,9 @@ func main() {
 // 0 for a clean tree, 1 when findings remain, 2 on usage or load
 // errors.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "fencevet" {
+		return runFenceVet(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("armvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzers and exit")

@@ -42,10 +42,41 @@ func TestListFlag(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"determvet", "lockvet", "atomicvet", "allocvet", "metricvet"} {
+	for _, name := range []string{"determvet", "lockvet", "atomicvet", "allocvet", "metricvet", "progvet"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestFenceVetSubcommand runs the program-level verifier end to end:
+// every shape must minimize cleanly, agree with the formula oracle,
+// and the Pilot derivation must machine-check, so the subcommand
+// exits 0 and reports the load-side removal as the safe one.
+func TestFenceVetSubcommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"fencevet"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout %q, stderr %q)", code, out.String(), errb.String())
+	}
+	for _, want := range []string{
+		"minimal={push pull}",  // MP under WMM
+		"pilot: chan - avail",  // the removal the paper derives
+		"pilot: chan - publish",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fencevet output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "MISMATCH") || strings.Contains(out.String(), "UNSAFE") {
+		t.Errorf("fencevet reports violations:\n%s", out.String())
+	}
+}
+
+func TestFenceVetUsageExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"fencevet", "extra-arg"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
 	}
 }
 

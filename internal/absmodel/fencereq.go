@@ -1,0 +1,97 @@
+package absmodel
+
+import (
+	"armbar/internal/isa"
+	"armbar/internal/sim"
+)
+
+// Closed-form fence requirements for the explore package's litmus
+// shapes. Each shape's forbidden outcome is prevented exactly when a
+// fixed set of ordering clauses holds, each clause discharged either
+// by the pipeline (loads never retire after program-order-later
+// stores issue; under TSO the FIFO buffer adds store-store and the
+// staleness-free directory adds load-load) or by the barrier placed
+// in the named slot, per the isa ordering algebra. This is derived
+// from the axiomatic reading of each shape — independent machinery
+// from the explorer's operational state search — so the two act as
+// oracles for each other (see internal/explore's agreement tests).
+
+// FenceClause is one ordering obligation: the barrier in slot Slot
+// (or the pipeline) must order From-accesses before To-accesses.
+type FenceClause struct {
+	Slot int
+	From isa.Access
+	To   isa.Access
+}
+
+// fenceNeeds maps explore shape names to their ordering obligations.
+// Slots index the shape's slot list. Shapes absent from the map have
+// no obligations: their forbidden outcome is unreachable however the
+// slots are filled.
+var fenceNeeds = map[string][]FenceClause{
+	"MP":     {{0, isa.Store, isa.Store}, {1, isa.Load, isa.Load}},
+	"SB":     {{0, isa.Store, isa.Load}, {1, isa.Store, isa.Load}},
+	"S":      {{0, isa.Store, isa.Store}},
+	"R":      {{0, isa.Store, isa.Store}, {1, isa.Store, isa.Load}},
+	"2+2W":   {{0, isa.Store, isa.Store}, {1, isa.Store, isa.Store}},
+	"LB":     nil,
+	"WRC":    {{1, isa.Load, isa.Load}},
+	"CoRR":   {{0, isa.Load, isa.Load}},
+	"CoWW":   nil,
+	"SB+RMW": nil,
+	"chan":   {{1, isa.Store, isa.Store}, {2, isa.Load, isa.Load}},
+	"pilot":  nil,
+}
+
+// KnownShape reports whether the closed-form table covers the shape.
+func KnownShape(name string) bool {
+	_, ok := fenceNeeds[name]
+	return ok
+}
+
+// FenceSafe predicts whether a placement of the named shape is safe:
+// every ordering clause must be discharged by the pipeline or by the
+// placed slot barrier. slots lists the barrier occupying each slot,
+// isa.None where the placement leaves it empty.
+func FenceSafe(shape string, slots []isa.Barrier, mode sim.Mode) bool {
+	for _, c := range fenceNeeds[shape] {
+		b := isa.None
+		if c.Slot < len(slots) {
+			b = slots[c.Slot]
+		}
+		if !orderedUnder(b, c.From, c.To, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderedUnder reports whether accesses of kind from stay ordered
+// before accesses of kind to, given barrier b between them.
+func orderedUnder(b isa.Barrier, from, to isa.Access, mode sim.Mode) bool {
+	if freeOrder(from, to, mode) {
+		return true
+	}
+	// DSB variants block every later instruction until the drain
+	// completes, which operationally orders all access pairs even
+	// where the pure DMB algebra would not.
+	if b.BlocksAllInstructions() {
+		return true
+	}
+	return b.Orders(from, to)
+}
+
+// freeOrder reports the orderings the pipeline supplies with no
+// barrier at all: loads complete before later stores issue (in-order
+// issue), and under TSO the FIFO store buffer preserves store-store
+// order while the staleness-free directory preserves load-load
+// order. Only store-load needs a barrier under TSO.
+func freeOrder(from, to isa.Access, mode sim.Mode) bool {
+	if from == isa.Load && to == isa.Store {
+		return true
+	}
+	if mode == sim.TSO {
+		return !(from == isa.Store && to == isa.Load)
+	}
+	return false
+}

@@ -22,6 +22,7 @@ var DeterministicPackages = map[string]bool{
 	"armbar/internal/trace":     true,
 	"armbar/internal/scenario":  true,
 	"armbar/internal/cellcache": true,
+	"armbar/internal/explore":   true,
 	"determ":                    true,
 	"suppress":                  true,
 }

@@ -1,0 +1,122 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"armbar/internal/sim"
+)
+
+// expectedMinimal pins the minimal safe placements of every shape
+// under both modes — the hand-derived ground truth the explorer must
+// reproduce (and absmodel's closed-form requirements agree with, see
+// agreement_test.go).
+var expectedMinimal = map[sim.Mode]map[string][]Placement{
+	sim.WMM: {
+		"MP":     {0b11},
+		"SB":     {0b11},
+		"S":      {0b01},
+		"R":      {0b11},
+		"2+2W":   {0b11},
+		"LB":     {0b00},
+		"WRC":    {0b10},
+		"CoRR":   {0b1},
+		"CoWW":   {0},
+		"SB+RMW": {0},
+		"chan":   {0b110},
+		"pilot":  {0},
+	},
+	sim.TSO: {
+		"MP":     {0b00},
+		"SB":     {0b11},
+		"S":      {0b00},
+		"R":      {0b10},
+		"2+2W":   {0b00},
+		"LB":     {0b00},
+		"WRC":    {0b00},
+		"CoRR":   {0b0},
+		"CoWW":   {0},
+		"SB+RMW": {0},
+		"chan":   {0b000},
+		"pilot":  {0},
+	},
+}
+
+func TestMinimalPlacements(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.WMM, sim.TSO} {
+		for _, s := range All() {
+			rep := Minimize(s, mode, DefaultBound)
+			want := expectedMinimal[mode][s.Name]
+			if !reflect.DeepEqual(rep.Minimal, want) {
+				t.Errorf("%s under %v: minimal %v, want %v", s.Name, mode, rep.Minimal, want)
+			}
+			if !rep.NaiveSafe {
+				t.Errorf("%s under %v: naive placement unsafe", s.Name, mode)
+			}
+		}
+	}
+}
+
+// TestBoundSaturation pins that the gate bound saturates the
+// reachable sets: raising it changes no outcome set at the empty or
+// naive placement of any shape.
+func TestBoundSaturation(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.WMM, sim.TSO} {
+		for _, s := range All() {
+			for _, pl := range []Placement{0, Naive(s)} {
+				base := Explore(s, pl, mode, DefaultBound)
+				wide := Explore(s, pl, mode, DefaultBound+2)
+				if !reflect.DeepEqual(base.Outcomes, wide.Outcomes) {
+					t.Errorf("%s%s under %v: outcomes grow past bound %d: %v vs %v",
+						s.Name, pl.Describe(s), mode, DefaultBound, base.Outcomes, wide.Outcomes)
+				}
+			}
+		}
+	}
+}
+
+func TestPilotCheck(t *testing.T) {
+	for _, mode := range []sim.Mode{sim.WMM, sim.TSO} {
+		rep := PilotCheck(mode, DefaultBound)
+		if !rep.OK() {
+			for _, st := range rep.Steps {
+				t.Logf("%-16s safe=%v expect=%v", st.Name, st.Safe, st.ExpectSafe)
+			}
+			t.Fatalf("pilot check failed under %v", mode)
+		}
+	}
+	// The WMM derivation specifically: dropping the availability DMB
+	// is the only safe single removal.
+	rep := PilotCheck(sim.WMM, DefaultBound)
+	for _, st := range rep.Steps {
+		switch st.Name {
+		case "chan - avail", "chan naive", "pilot word":
+			if !st.Safe {
+				t.Errorf("%s: want safe", st.Name)
+			}
+		case "chan - publish", "chan - consume":
+			if st.Safe {
+				t.Errorf("%s: want unsafe", st.Name)
+			}
+			if len(st.Witness) == 0 {
+				t.Errorf("%s: unsafe step carries no witness", st.Name)
+			}
+		}
+	}
+}
+
+// TestWitness pins that an unsafe verdict carries a replayable trace
+// ending in the forbidden outcome.
+func TestWitness(t *testing.T) {
+	r := Explore(MP(), 0, sim.WMM, DefaultBound)
+	if r.Safe() {
+		t.Fatal("MP with no barriers must be unsafe under WMM")
+	}
+	if len(r.Witness) == 0 {
+		t.Fatal("no witness")
+	}
+	last := r.Witness[len(r.Witness)-1]
+	if want := "outcome "; len(last) < len(want) || last[:len(want)] != want {
+		t.Fatalf("witness does not end in an outcome line: %q", last)
+	}
+}

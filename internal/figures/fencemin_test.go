@@ -1,0 +1,40 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+
+	"armbar/internal/figures"
+	"armbar/internal/runner"
+)
+
+// TestFenceMinDeterministic pins the fence-minimization figure the way
+// barrierzoo pins its: quick-mode output byte-identical between the
+// inline sequential path and pools of every width, at both canonical
+// seeds. (fencemin stays out of fastSubset so the fast golden digest
+// is untouched; this test is its dedicated equivalent.) It also pins
+// the headline verdicts: the chan minimal set must be the Pilot
+// placement and every cross-check column must agree.
+func TestFenceMinDeterministic(t *testing.T) {
+	for _, seed := range []int64{42, 7} {
+		seq := render(figures.Options{Quick: true, Seed: seed}, []string{"fencemin"})
+		if !strings.Contains(seq, "{publish consume}") {
+			t.Fatalf("seed %d: chan row is missing the Pilot minimal set:\n%s", seed, seq)
+		}
+		if !strings.Contains(seq, "{push pull}") {
+			t.Fatalf("seed %d: MP row is missing its minimal set:\n%s", seed, seq)
+		}
+		if strings.Contains(seq, "DISAGREE") || strings.Contains(seq, "false") {
+			t.Fatalf("seed %d: a cross-check column disagrees:\n%s", seed, seq)
+		}
+		for _, workers := range []int{2, 8} {
+			pool := runner.New(workers)
+			par := render(figures.Options{Quick: true, Seed: seed, Pool: pool}, []string{"fencemin"})
+			pool.Close()
+			if par != seq {
+				t.Errorf("seed %d par=%d: output differs from sequential\nseq:\n%s\npar:\n%s",
+					seed, workers, seq, par)
+			}
+		}
+	}
+}

@@ -28,7 +28,7 @@ import (
 // the drift is intended (a semantics change, not a scheduler bug).
 const (
 	goldenFastDigest = "72b30bfa573e9fe4d805b9a433d1055d574ca31ec8c1ad0635a7a0ff6f54d4c5"
-	goldenAllDigest  = "4360da4213a5bcb500518e9159f8cfff98cfce9e09cfcf175f83ce629c56ce56"
+	goldenAllDigest  = "cdc2290373d2448f432a090e49511504d3b5eb76960640e60f206059492fc399"
 )
 
 // TestQuickOutputDigest is the direct-dispatch scheduler's determinism

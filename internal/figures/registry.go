@@ -51,6 +51,7 @@ var registry = []Experiment{
 	{"a64", 1, one(A64CrossCheck)},
 	{"ablation", 5, ablationTables},
 	{"barrierzoo", 1, one(BarrierZoo)},
+	{"fencemin", 1, one(FenceMin)},
 }
 
 // ablationTables fans the five ablation sweeps out as independent

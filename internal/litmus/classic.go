@@ -33,9 +33,7 @@ func STest(t0Order, t1Order isa.Barrier) *Test {
 			}
 			return []uint64{r}
 		},
-		FormatFinal: func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
-			return Outcome(fmt.Sprintf("r=%d x=%d", regs[1][0], final(addr[0])))
-		},
+		FormatFinal: FormatMem(Reg("r", 1, 0), Mem("x", 0)),
 	}
 }
 
@@ -62,9 +60,7 @@ func TwoPlusTwoW(order isa.Barrier) *Test {
 			}
 			return nil
 		},
-		FormatFinal: func(_ [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
-			return Outcome(fmt.Sprintf("x=%d y=%d", final(addr[0]), final(addr[1])))
-		},
+		FormatFinal: FormatMem(Mem("x", 0), Mem("y", 1)),
 	}
 }
 
@@ -88,8 +84,6 @@ func RTest(order isa.Barrier) *Test {
 			t.Barrier(order)
 			return []uint64{t.Load(x)}
 		},
-		FormatFinal: func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
-			return Outcome(fmt.Sprintf("r=%d y=%d", regs[1][0], final(addr[1])))
-		},
+		FormatFinal: FormatMem(Reg("r", 1, 0), Mem("y", 1)),
 	}
 }

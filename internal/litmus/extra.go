@@ -28,9 +28,7 @@ func LoadBuffering(dep isa.Barrier) *Test {
 			t.Store(mine, 1)
 			return []uint64{r}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
-		},
+		Format: FormatRegs(Reg("r0", 0, 0), Reg("r1", 1, 0)),
 	}
 }
 
@@ -53,9 +51,7 @@ func CoRR() *Test {
 			r2 := t.Load(x)
 			return []uint64{r1, r2}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r1=%d r2=%d", regs[1][0], regs[1][1]))
-		},
+		Format: FormatRegs(Reg("r1", 1, 0), Reg("r2", 1, 1)),
 	}
 }
 
@@ -72,8 +68,6 @@ func SBWithRMW() *Test {
 			t.Swap(mine, 1)
 			return []uint64{t.Load(theirs)}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
-		},
+		Format: FormatRegs(Reg("r0", 0, 0), Reg("r1", 1, 0)),
 	}
 }

@@ -124,9 +124,7 @@ func MessagePassing(producerBarrier, consumerBarrier isa.Barrier) *Test {
 			t.Barrier(consumerBarrier)
 			return []uint64{t.Load(data)}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("local=%d", regs[1][0]))
-		},
+		Format: FormatRegs(Reg("local", 1, 0)),
 	}
 }
 
@@ -145,9 +143,7 @@ func StoreBuffering(barrier isa.Barrier) *Test {
 			t.Barrier(barrier)
 			return []uint64{t.Load(theirs)}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r0=%d r1=%d", regs[0][0], regs[1][0]))
-		},
+		Format: FormatRegs(Reg("r0", 0, 0), Reg("r1", 1, 0)),
 	}
 }
 
@@ -164,9 +160,7 @@ func CoWW() *Test {
 			t.Store(addr[0], 2)
 			return []uint64{t.Load(addr[0])}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r0=%d", regs[0][0]))
-		},
+		Format: FormatRegs(Reg("r0", 0, 0)),
 	}
 }
 
@@ -190,8 +184,6 @@ func MPWithAcquireRelease() *Test {
 			}
 			return []uint64{t.Load(data)}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("local=%d", regs[1][0]))
-		},
+		Format: FormatRegs(Reg("local", 1, 0)),
 	}
 }

@@ -39,10 +39,7 @@ func WRC(t1Order, t2Order isa.Barrier) *Test {
 				return []uint64{ry, rx}
 			}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("t1x=%d t2y=%d t2x=%d",
-				regs[1][0], regs[2][0], regs[2][1]))
-		},
+		Format: FormatRegs(Reg("t1x", 1, 0), Reg("t2y", 2, 0), Reg("t2x", 2, 1)),
 	}
 }
 
@@ -79,9 +76,6 @@ func IRIW(order isa.Barrier) *Test {
 				return []uint64{r3, r4}
 			}
 		},
-		Format: func(regs [][]uint64) Outcome {
-			return Outcome(fmt.Sprintf("r1=%d r2=%d r3=%d r4=%d",
-				regs[2][0], regs[2][1], regs[3][0], regs[3][1]))
-		},
+		Format: FormatRegs(Reg("r1", 2, 0), Reg("r2", 2, 1), Reg("r3", 3, 0), Reg("r4", 3, 1)),
 	}
 }

@@ -1,0 +1,87 @@
+package litmus
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file is the one outcome-rendering path. Every Format /
+// FormatFinal closure in this package and every outcome the explore
+// package enumerates goes through Fields, so the simulator's sampled
+// histograms and the explorer's reachable sets compare byte-for-byte.
+
+// Fields renders "name=value" pairs separated by single spaces — the
+// canonical Outcome encoding ("r0=1 r1=0").
+func Fields(names []string, vals ...uint64) Outcome {
+	if len(names) != len(vals) {
+		panic("litmus: Fields name/value count mismatch")
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatUint(vals[i], 10))
+	}
+	return Outcome(b.String())
+}
+
+// Ref selects one rendered outcome field: either register Reg of
+// thread Thread, or — when Mem is true — the final committed value of
+// line Line.
+type Ref struct {
+	Name   string
+	Thread int
+	Reg    int
+	Mem    bool
+	Line   int
+}
+
+// Reg names register r of thread t.
+func Reg(name string, t, r int) Ref { return Ref{Name: name, Thread: t, Reg: r} }
+
+// Mem names the final committed value of allocated line l.
+func Mem(name string, l int) Ref { return Ref{Name: name, Mem: true, Line: l} }
+
+// FormatRegs builds a Format closure rendering the given register
+// refs (memory refs are not allowed: use FormatMem).
+func FormatRegs(refs ...Ref) func(regs [][]uint64) Outcome {
+	names := refNames(refs)
+	return func(regs [][]uint64) Outcome {
+		vals := make([]uint64, len(refs))
+		for i, f := range refs {
+			if f.Mem {
+				panic("litmus: FormatRegs used with a Mem ref")
+			}
+			vals[i] = regs[f.Thread][f.Reg]
+		}
+		return Fields(names, vals...)
+	}
+}
+
+// FormatMem builds a FormatFinal closure rendering register and
+// final-memory refs in order.
+func FormatMem(refs ...Ref) func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
+	names := refNames(refs)
+	return func(regs [][]uint64, addr []uint64, final func(uint64) uint64) Outcome {
+		vals := make([]uint64, len(refs))
+		for i, f := range refs {
+			if f.Mem {
+				vals[i] = final(addr[f.Line])
+			} else {
+				vals[i] = regs[f.Thread][f.Reg]
+			}
+		}
+		return Fields(names, vals...)
+	}
+}
+
+func refNames(refs []Ref) []string {
+	names := make([]string, len(refs))
+	for i, f := range refs {
+		names[i] = f.Name
+	}
+	return names
+}

@@ -98,6 +98,12 @@ const (
 // fixed-size array with no per-run allocation.
 const MaxLoopDepth = 8
 
+// MaxOps bounds a program's flat op count. Loops express repetition
+// through trip counts, so any legitimate program stays tiny; a body
+// exceeding this was almost certainly built by unrolling, which
+// defeats the compiled engine's cache-density premise.
+const MaxOps = 1 << 16
+
 // Op is one micro-op. The flat value layout (no pointers, no
 // interfaces) keeps programs cache-dense and lets the executor take
 // everything it needs from one 64-byte-ish record.
@@ -128,6 +134,9 @@ type Program struct {
 // legal. Executors may assume a validated program needs no per-op
 // checking.
 func (p *Program) Validate() error {
+	if len(p.Ops) > MaxOps {
+		return fmt.Errorf("prog: %d ops exceeds MaxOps %d (use loops, not unrolling)", len(p.Ops), MaxOps)
+	}
 	n := int32(len(p.Ops))
 	for i := range p.Ops {
 		op := &p.Ops[i]

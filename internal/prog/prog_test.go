@@ -167,6 +167,7 @@ func TestValidateRejectsBadPrograms(t *testing.T) {
 		"zero count loop":   {Ops: []Op{{Code: Load}, {Code: LoopEnd, Target: 0, Count: 0}}},
 		"forward loopend":   {Ops: []Op{{Code: LoopEnd, Target: 1, Count: 2}, {Code: Load}}},
 		"zero work":         {Ops: []Op{{Code: Work, Cyc: 0}}},
+		"over MaxOps":       {Ops: make([]Op, MaxOps+1)},
 	}
 	for name, p := range cases {
 		p := p
