@@ -71,12 +71,14 @@ profilecheck:
 # Fence-verification gate: the reorder-bounded explorer must agree
 # with absmodel's closed-form fence requirements on every placement of
 # every litmus shape, machine-check the Pilot barrier removal (armvet
-# fencevet), and stay a sound over-approximation of what the simulator
-# samples (the explore package's agreement and determinism tests).
+# fencevet), fuzz a fixed-seed 220-shape generated corpus through the
+# three oracles (explorer / closed-form model / sim containment), and
+# stay a sound over-approximation of what the simulator samples (the
+# explore package's agreement and determinism tests).
 .PHONY: fencecheck
 fencecheck:
-	$(GO) run ./cmd/armvet fencevet
-	$(GO) test -run 'TestFormulaAgreement|TestSimAgreement|TestPinnedAnomalies|TestCompiledParityShapes|TestSeedIndependentVerdicts' ./internal/explore
+	$(GO) run ./cmd/armvet fencevet -fuzz 220 -fuzzseed 42
+	$(GO) test -run 'TestFormulaAgreement|TestSimAgreement|TestPinnedAnomalies|TestCompiledParityShapes|TestSeedIndependentVerdicts|TestFuzzThreeOracles|TestExploreParMatchesSequential' ./internal/explore
 
 # Live-observability smoke: run `-quick` with -serve against a cold
 # cache and curl /healthz, /metrics and /progress while it runs.
@@ -85,10 +87,11 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # Simulator hot-path microbenchmarks (rendezvous, store commit, DMB,
-# cache lookup, directory bitsets at 1024 cores, barrier scaling).
+# cache lookup, directory bitsets at 1024 cores, barrier scaling,
+# explorer throughput).
 .PHONY: bench-sim
 bench-sim:
-	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit|DirectoryRank|DirectorySharerChurn|BarrierScale' -benchmem ./internal/sim ./internal/cellcache ./internal/mesi ./internal/barrier
+	$(GO) test -run '^$$' -bench 'Rendezvous|StoreCommit|StoreDMB|CellCacheHit|DirectoryRank|DirectorySharerChurn|BarrierScale|ExploreStates' -benchmem ./internal/sim ./internal/cellcache ./internal/mesi ./internal/barrier ./internal/explore
 
 # Regenerate the committed BENCH_sim.json snapshot from bench-sim.
 .PHONY: bench-snapshot

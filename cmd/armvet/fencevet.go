@@ -4,9 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime"
 
 	"armbar/internal/absmodel"
 	"armbar/internal/explore"
+	"armbar/internal/platform"
+	"armbar/internal/runner"
 	"armbar/internal/sim"
 )
 
@@ -23,8 +26,12 @@ func runFenceVet(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("armvet fencevet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bound := fs.Int("bound", explore.DefaultBound, "reorder bound (store-buffer reorderings plus stale reads per execution)")
+	fuzz := fs.Int("fuzz", 0, "also fuzz n generated litmus shapes through the three oracles (0 = off)")
+	fuzzSeed := fs.Int64("fuzzseed", 42, "seed for the generated fuzz corpus")
+	runs := fs.Int("runs", 4, "sim samples per fuzzed placement (0 skips the containment oracle)")
+	par := fs.Int("par", runtime.GOMAXPROCS(0), "worker pool width for the fuzz batch (1 = inline)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: armvet fencevet [-bound n]\n")
+		fmt.Fprintf(stderr, "usage: armvet fencevet [-bound n] [-fuzz n] [-fuzzseed s] [-runs n] [-par n]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -63,11 +70,66 @@ func runFenceVet(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "pilot: %-16s safe=%-5v expect=%-5v %s\n", st.Name, st.Safe, st.ExpectSafe, verdict)
 		}
 	}
+	if *fuzz > 0 {
+		bad += runFuzz(stdout, *fuzz, *fuzzSeed, *runs, *par)
+	}
 	if bad > 0 {
 		fmt.Fprintf(stderr, "armvet fencevet: %d violation(s)\n", bad)
 		return 1
 	}
 	return 0
+}
+
+// runFuzz runs the generated-corpus leg: n seeded shapes, each checked
+// across its full placement lattice under both modes against the
+// explorer, the clause formula, and sim sampling containment. Prints
+// one aggregate line per skeleton family plus the first disagreement's
+// full program listing, and returns the number of disagreeing shapes.
+func runFuzz(stdout io.Writer, n int, seed int64, runs, par int) int {
+	var pool *runner.Pool
+	if par != 1 {
+		pool = runner.New(par)
+		defer pool.Close()
+	}
+	rep := explore.FuzzShapes(seed, n, runs, platform.Kunpeng916(), pool)
+
+	fmt.Fprintf(stdout, "== fuzz (seed %d, %d shapes, %d sim runs) ==\n", seed, n, runs)
+	type agg struct {
+		cases, explored, states, bad int
+	}
+	byFam := map[string]*agg{}
+	var fams []string
+	firstErr := ""
+	for _, c := range rep.Cases {
+		a := byFam[c.Family]
+		if a == nil {
+			a = &agg{}
+			byFam[c.Family] = a
+			fams = append(fams, c.Family)
+		}
+		a.cases++
+		a.explored += c.Explored
+		a.states += c.States
+		if c.Err != "" {
+			a.bad++
+			if firstErr == "" {
+				firstErr = c.Name + ": " + c.Err
+			}
+		}
+	}
+	for _, fam := range fams {
+		a := byFam[fam]
+		status := "ok"
+		if a.bad > 0 {
+			status = fmt.Sprintf("%d DISAGREE", a.bad)
+		}
+		fmt.Fprintf(stdout, "fuzz: %-8s cases=%-4d placements=%-5d states=%-8d %s\n",
+			fam, a.cases, a.explored, a.states, status)
+	}
+	if firstErr != "" {
+		fmt.Fprintf(stdout, "first disagreement:\n%s\n", firstErr)
+	}
+	return rep.Bad
 }
 
 // latticeAgrees checks every placement of the shape against absmodel's

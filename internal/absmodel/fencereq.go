@@ -54,16 +54,7 @@ func KnownShape(name string) bool {
 // placed slot barrier. slots lists the barrier occupying each slot,
 // isa.None where the placement leaves it empty.
 func FenceSafe(shape string, slots []isa.Barrier, mode sim.Mode) bool {
-	for _, c := range fenceNeeds[shape] {
-		b := isa.None
-		if c.Slot < len(slots) {
-			b = slots[c.Slot]
-		}
-		if !orderedUnder(b, c.From, c.To, mode) {
-			return false
-		}
-	}
-	return true
+	return GenSafe(fenceNeeds[shape], slots, mode)
 }
 
 // orderedUnder reports whether accesses of kind from stay ordered

@@ -1,0 +1,36 @@
+package absmodel
+
+import (
+	"armbar/internal/isa"
+	"armbar/internal/sim"
+)
+
+// Generalized closed-form fence requirements: where fencereq.go keys
+// the classic shapes by name, generated litmus shapes (the explore
+// package's fuzzer) carry their ordering obligations explicitly, one
+// FenceClause per hazard edge, each naming the slot that sits between
+// the two accesses in program order. The prediction machinery is the
+// same ordering algebra — a clause is discharged by the pipeline's
+// free orderings or by the barrier occupying its slot — so the fuzzer
+// checks the explorer's operational verdict against this axiomatic
+// one on shapes neither was written for. This package stays
+// independent of the explorer: the fuzzer imports absmodel, never the
+// reverse.
+
+// GenSafe predicts whether a placement is safe given the shape's
+// explicit ordering obligations: every clause must be discharged by
+// the pipeline or by the barrier placed in its slot. slots lists the
+// barrier occupying each slot, isa.None where the placement leaves it
+// empty. A shape with no clauses is safe under every placement.
+func GenSafe(clauses []FenceClause, slots []isa.Barrier, mode sim.Mode) bool {
+	for _, c := range clauses {
+		b := isa.None
+		if c.Slot < len(slots) {
+			b = slots[c.Slot]
+		}
+		if !orderedUnder(b, c.From, c.To, mode) {
+			return false
+		}
+	}
+	return true
+}

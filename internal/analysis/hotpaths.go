@@ -167,4 +167,30 @@ var HotPathFuncs = map[string]bool{
 	// allocate (BenchmarkCellCacheHit pins this at 0 allocs/op).
 	"armbar/internal/cellcache.keyFor":    true,
 	"armbar/internal/cellcache.Cache.Get": true,
+
+	// Packed-state explorer visit loop (internal/explore/fast.go,
+	// pack.go, table.go): expandOne runs once per reachable state and
+	// everything below it once per transition, so the whole loop must
+	// stay allocation-free in steady state (BenchmarkExploreStates pins
+	// the lattice sweep; per-run setup — newFastExplorer, layout.build,
+	// vtable.grow, terminal's outcome-string rendering — allocates by
+	// design and is excluded, like addrTimes.grow above).
+	"armbar/internal/explore.fastExplorer.expandOne":     true,
+	"armbar/internal/explore.fastExplorer.emit":          true,
+	"armbar/internal/explore.fastExplorer.issue":         true,
+	"armbar/internal/explore.fastExplorer.loads":         true,
+	"armbar/internal/explore.fastExplorer.finishLoad":    true,
+	"armbar/internal/explore.fastExplorer.barrier":       true,
+	"armbar/internal/explore.fastExplorer.commits":       true,
+	"armbar/internal/explore.fastExplorer.eligible":      true,
+	"armbar/internal/explore.fastExplorer.markClearable": true,
+	"armbar/internal/explore.fastExplorer.dropClearable": true,
+	"armbar/internal/explore.fastExplorer.dropStaleAddr": true,
+	"armbar/internal/explore.fastExplorer.addStale":      true,
+	"armbar/internal/explore.layout.pack":                true,
+	"armbar/internal/explore.bitCursor.put":              true,
+	"armbar/internal/explore.bitCursor.get":              true,
+	"armbar/internal/explore.vtable.insert":              true,
+	"armbar/internal/explore.hashWords":                  true,
+	"armbar/internal/explore.equalWords":                 true,
 }

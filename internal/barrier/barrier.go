@@ -23,6 +23,7 @@ package barrier
 import (
 	"fmt"
 
+	"armbar/internal/mesi"
 	"armbar/internal/platform"
 	"armbar/internal/prog"
 	"armbar/internal/sim"
@@ -164,6 +165,13 @@ func Spawn(a Algo, cfg Config) (*sim.Machine, error) {
 	// program's immediates to this machine.
 	lay := layoutFor(a, cfg.Threads)
 	lay.place(m)
+	// Every participating core installs a copy of the lines it touches
+	// in round one; reserving the full fan-out up front keeps that
+	// first-install append growth out of the run itself, so the
+	// BarrierScale benchmarks measure steady-state rounds at 0 B/op.
+	for k := 0; k < lay.lines; k++ {
+		m.Directory().Reserve(lay.base+uint64(k)<<mesi.LineShift, cfg.Threads)
+	}
 	if cfg.Engine.Resolve() == sim.EngineCompiled {
 		for i, p := range progs {
 			m.SpawnProgram(topo.CoreID(i), p)

@@ -1,0 +1,13 @@
+package explore_test
+
+import (
+	"testing"
+
+	"armbar/internal/simbench"
+)
+
+// BenchmarkExploreStates is the perf-gate wrapper for the explorer
+// throughput benchmark (simbench.ExploreStates): one op is a full
+// Minimize of the MP and chan lattices under both memory models, the
+// workload `armvet fencevet` and the fuzz gate pay per shape.
+func BenchmarkExploreStates(b *testing.B) { simbench.ExploreStates(b) }

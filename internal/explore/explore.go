@@ -1,12 +1,10 @@
 package explore
 
 import (
-	"fmt"
 	"sort"
-	"strconv"
 
-	"armbar/internal/isa"
 	"armbar/internal/litmus"
+	"armbar/internal/runner"
 	"armbar/internal/sim"
 )
 
@@ -65,69 +63,6 @@ type staleEntry struct {
 	clearable bool
 }
 
-type tstate struct {
-	pc    uint8
-	level uint8
-	buf   []bufEntry
-	stale []staleEntry
-}
-
-type state struct {
-	mem    []uint64
-	th     []tstate
-	regs   []uint64
-	budget int
-}
-
-func (st *state) clone() *state {
-	ns := &state{
-		mem:    append([]uint64(nil), st.mem...),
-		th:     make([]tstate, len(st.th)),
-		regs:   append([]uint64(nil), st.regs...),
-		budget: st.budget,
-	}
-	for i, t := range st.th {
-		ns.th[i] = tstate{
-			pc:    t.pc,
-			level: t.level,
-			buf:   append([]bufEntry(nil), t.buf...),
-			stale: append([]staleEntry(nil), t.stale...),
-		}
-	}
-	return ns
-}
-
-// key encodes the state for the visited set. The encoding is total:
-// two states collide only if they are identical.
-func (st *state) key() string {
-	b := make([]byte, 0, 64)
-	for _, v := range st.mem {
-		b = strconv.AppendUint(b, v, 10)
-		b = append(b, ',')
-	}
-	for _, t := range st.th {
-		b = append(b, '|', t.pc, t.level, ';')
-		for _, e := range t.buf {
-			b = append(b, e.addr)
-			b = strconv.AppendUint(b, e.val, 10)
-			b = append(b, e.level, boolByte(e.rel), ',')
-		}
-		b = append(b, ';')
-		for _, e := range t.stale {
-			b = append(b, e.addr)
-			b = strconv.AppendUint(b, e.val, 10)
-			b = append(b, boolByte(e.clearable), ',')
-		}
-	}
-	b = append(b, '#')
-	for _, v := range st.regs {
-		b = strconv.AppendUint(b, v, 10)
-		b = append(b, ',')
-	}
-	b = strconv.AppendInt(b, int64(st.budget), 10)
-	return string(b)
-}
-
 func boolByte(v bool) byte {
 	if v {
 		return 1
@@ -135,96 +70,52 @@ func boolByte(v bool) byte {
 	return 0
 }
 
-// markClearable flags every current stale entry of thread t: a load of
-// t just completed, so the entries now predate the thread's last load
-// and a subsequent load-side barrier may discard them.
-func (t *tstate) markClearable() {
-	for i := range t.stale {
-		t.stale[i].clearable = true
-	}
-}
-
-// dropStale removes stale entries: all of them, or only clearable
-// ones.
-func (t *tstate) dropStale(all bool) {
-	kept := t.stale[:0]
-	for _, e := range t.stale {
-		if !all && !e.clearable {
-			kept = append(kept, e)
-		}
-	}
-	t.stale = kept
-	if len(t.stale) == 0 {
-		t.stale = nil
-	}
-}
-
-// dropStaleAddr removes entries for one address (the thread committed
-// to it and now owns the fresh copy).
-func (t *tstate) dropStaleAddr(addr uint8) {
-	kept := t.stale[:0]
-	for _, e := range t.stale {
-		if e.addr != addr {
-			kept = append(kept, e)
-		}
-	}
-	t.stale = kept
-	if len(t.stale) == 0 {
-		t.stale = nil
-	}
-}
-
-// addStale records that addr held old before a remote commit. An
-// existing (addr, old) entry is strengthened back to non-clearable:
-// the fresh invalidation postdates the holder's last load again.
-func (t *tstate) addStale(addr uint8, old uint64) {
-	for i := range t.stale {
-		if t.stale[i].addr == addr && t.stale[i].val == old {
-			t.stale[i].clearable = false
-			return
-		}
-	}
-	t.stale = append(t.stale, staleEntry{addr: addr, val: old})
-}
-
-// explorer runs the DFS for one (shape, placement, mode, bound).
-type explorer struct {
-	shape     *Shape
-	ops       [][]SOp
-	tso       bool
-	bound     int
-	visited   map[string]struct{}
-	outcomes  map[litmus.Outcome]bool
-	forbidden map[litmus.Outcome]bool
-	witness   []string
-}
-
 // Explore enumerates every interleaving of the shape under the
 // placement, up to the reorder bound.
 func Explore(s *Shape, pl Placement, mode sim.Mode, bound int) *Result {
-	x := &explorer{
-		shape:     s,
-		ops:       s.program(pl),
-		tso:       mode == sim.TSO,
-		bound:     bound,
-		visited:   make(map[string]struct{}),
-		outcomes:  make(map[litmus.Outcome]bool),
-		forbidden: make(map[litmus.Outcome]bool),
+	return exploreRun(s, pl, mode, bound, nil, true)
+}
+
+// ExplorePar is Explore with the search fanned out over the pool:
+// the packed engine expands a frontier sequentially, shards the
+// unexpanded subtrees over the workers, and merges the per-worker
+// visited tables and outcome sets at quiescence. The reachable set is
+// the split-independent union of the subtree reachable sets, so the
+// Result — outcomes, forbidden set, state count, witness — is
+// bit-identical to the sequential explorer at every pool width. A nil
+// pool (or a single worker) runs sequentially.
+func ExplorePar(s *Shape, pl Placement, mode sim.Mode, bound int, pool *runner.Pool) *Result {
+	return exploreRun(s, pl, mode, bound, pool, true)
+}
+
+// exploreRun is the shared engine driver. The witness replay is
+// skipped when the caller only needs the verdict (the Minimize
+// lattice walk), keeping unsafe lattice points on the packed path.
+func exploreRun(s *Shape, pl Placement, mode sim.Mode, bound int, pool *runner.Pool, wantWitness bool) *Result {
+	r, _ := exploreReuse(s, pl, mode, bound, pool, wantWitness, nil)
+	return r
+}
+
+// exploreReuse is exploreRun with engine recycling: re (possibly nil)
+// is a retired engine whose slabs are salvaged, and the engine used
+// here is returned for the caller's next placement.
+func exploreReuse(s *Shape, pl Placement, mode sim.Mode, bound int, pool *runner.Pool, wantWitness bool, re *fastExplorer) (*Result, *fastExplorer) {
+	tso := mode == sim.TSO
+	x := newFastExplorer(s, pl, tso, bound, re)
+	x.pushInit()
+	if pool == nil || pool.Workers() <= 1 {
+		x.run()
+	} else {
+		x.runSharded(pool)
 	}
-	init := &state{
-		mem:    s.initMem(),
-		th:     make([]tstate, len(s.Threads)),
-		regs:   make([]uint64, len(s.Regs)),
-		budget: bound,
-	}
-	x.run(init, nil)
+	x.noteMetrics()
+
 	res := &Result{
 		Shape:     s.Name,
 		Mode:      mode,
 		Placement: pl,
 		Bound:     bound,
-		States:    len(x.visited),
-		Witness:   x.witness,
+		States:    x.table.n,
 	}
 	for o := range x.outcomes {
 		res.Outcomes = append(res.Outcomes, o)
@@ -234,252 +125,12 @@ func Explore(s *Shape, pl Placement, mode sim.Mode, bound int) *Result {
 	}
 	sortOutcomes(res.Outcomes)
 	sortOutcomes(res.Forbidden)
-	return res
+	if x.sawForbidden && wantWitness {
+		res.Witness = findWitness(s, x.ops, tso, bound)
+	}
+	return res, x
 }
 
 func sortOutcomes(os []litmus.Outcome) {
 	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
-}
-
-func (x *explorer) lineName(addr uint8) string {
-	if int(addr) < len(x.shape.LineNames) {
-		return x.shape.LineNames[addr]
-	}
-	return fmt.Sprintf("line%d", addr)
-}
-
-func (x *explorer) run(st *state, path []string) {
-	k := st.key()
-	if _, ok := x.visited[k]; ok {
-		return
-	}
-	x.visited[k] = struct{}{}
-
-	progressed := false
-	for u := range st.th {
-		if int(st.th[u].pc) < len(x.ops[u]) {
-			progressed = x.issue(st, u, path) || progressed
-		}
-	}
-	for u := range st.th {
-		progressed = x.commits(st, u, path) || progressed
-	}
-	if progressed {
-		return
-	}
-	// Terminal: all threads done, all buffers drained.
-	o := x.shape.Outcome(st.regs, st.mem)
-	x.outcomes[o] = true
-	if x.shape.Forbidden(st.regs, st.mem) {
-		x.forbidden[o] = true
-		if x.witness == nil {
-			x.witness = append(append([]string(nil), path...), "outcome "+string(o))
-		}
-	}
-}
-
-// step clones st, applies f, and recurses with the step description
-// appended to the path.
-func (x *explorer) step(st *state, path []string, desc string, f func(*state)) {
-	ns := st.clone()
-	f(ns)
-	x.run(ns, append(path, desc))
-}
-
-// issue generates the successors of thread u's next op. It returns
-// false when the op cannot issue yet (a drain barrier or RMW waiting
-// on a non-empty buffer).
-func (x *explorer) issue(st *state, u int, path []string) bool {
-	op := x.ops[u][st.th[u].pc]
-	t := &st.th[u]
-	switch op.Code {
-	case SLoad, SLoadAcq:
-		x.loads(st, u, op, path)
-		return true
-
-	case SStore:
-		desc := fmt.Sprintf("T%d: store %s=%d (buffered)", u, x.lineName(uint8(op.Addr)), op.Val)
-		x.step(st, path, desc, func(ns *state) {
-			nt := &ns.th[u]
-			nt.pc++
-			nt.buf = append(nt.buf, bufEntry{addr: uint8(op.Addr), val: op.Val, level: nt.level})
-		})
-		return true
-
-	case SBarrier:
-		return x.barrier(st, u, op, path)
-
-	case SSwap:
-		if len(t.buf) != 0 {
-			return false // drains the buffer first
-		}
-		old := st.mem[op.Addr]
-		desc := fmt.Sprintf("T%d: swap %s=%d (read %d)", u, x.lineName(uint8(op.Addr)), op.Val, old)
-		x.step(st, path, desc, func(ns *state) {
-			nt := &ns.th[u]
-			nt.pc++
-			ns.mem[op.Addr] = op.Val
-			if op.Obs >= 0 {
-				ns.regs[op.Obs] = old
-			}
-			nt.dropStale(true) // acquire half: syncPoint = now
-			if old != op.Val {
-				for w := range ns.th {
-					if w != u && !x.tso {
-						ns.th[w].addStale(uint8(op.Addr), old)
-					}
-				}
-			}
-		})
-		return true
-	}
-	panic("explore: unknown op code")
-}
-
-// loads generates the read successors of a load: mandatory forwarding
-// from the own buffer, otherwise the fresh committed value plus — for
-// observed loads under WMM — every distinct stale view.
-func (x *explorer) loads(st *state, u int, op SOp, path []string) {
-	t := &st.th[u]
-	addr := uint8(op.Addr)
-	acq := op.Code == SLoadAcq
-	finish := func(ns *state, val uint64) {
-		nt := &ns.th[u]
-		nt.pc++
-		nt.markClearable()
-		if acq {
-			nt.dropStale(true)
-		}
-		if op.Obs >= 0 {
-			ns.regs[op.Obs] = val
-		}
-	}
-	// Store-buffer forwarding is mandatory when the buffer holds the
-	// line: read the newest pending value.
-	for k := len(t.buf) - 1; k >= 0; k-- {
-		if t.buf[k].addr == addr {
-			val := t.buf[k].val
-			desc := fmt.Sprintf("T%d: load %s = %d (forwarded)", u, x.lineName(addr), val)
-			x.step(st, path, desc, func(ns *state) { finish(ns, val) })
-			return
-		}
-	}
-	fresh := st.mem[op.Addr]
-	desc := fmt.Sprintf("T%d: load %s = %d", u, x.lineName(addr), fresh)
-	x.step(st, path, desc, func(ns *state) { finish(ns, fresh) })
-	if op.Obs < 0 || st.budget == 0 {
-		// Unobserved loads need no stale branch: the value is
-		// discarded, and the state effects are identical.
-		return
-	}
-	for i := range t.stale {
-		e := t.stale[i]
-		if e.addr != addr || e.val == fresh {
-			continue
-		}
-		desc := fmt.Sprintf("T%d: load %s = %d (stale)", u, x.lineName(addr), e.val)
-		x.step(st, path, desc, func(ns *state) {
-			ns.budget--
-			finish(ns, e.val)
-		})
-	}
-}
-
-// barrier applies a standalone barrier's ordering effect. Store
-// fences bump the drain level; full and DSB barriers wait for the
-// buffer to drain and then discard every stale view; load-side
-// barriers discard the views that predate the last load.
-func (x *explorer) barrier(st *state, u int, op SOp, path []string) bool {
-	t := &st.th[u]
-	switch op.Bar {
-	case isa.DMBSt:
-		x.step(st, path, fmt.Sprintf("T%d: %v", u, op.Bar), func(ns *state) {
-			nt := &ns.th[u]
-			nt.pc++
-			nt.level++
-		})
-	case isa.DMBFull, isa.DSBFull, isa.DSBSt, isa.DSBLd:
-		if len(t.buf) != 0 {
-			return false // blocks until the buffer drains
-		}
-		x.step(st, path, fmt.Sprintf("T%d: %v", u, op.Bar), func(ns *state) {
-			nt := &ns.th[u]
-			nt.pc++
-			nt.dropStale(true)
-		})
-	case isa.DMBLd, isa.AddrDep, isa.CtrlISB:
-		x.step(st, path, fmt.Sprintf("T%d: %v", u, op.Bar), func(ns *state) {
-			nt := &ns.th[u]
-			nt.pc++
-			nt.dropStale(false)
-		})
-	case isa.DataDep, isa.CtrlDep, isa.ISB:
-		x.step(st, path, fmt.Sprintf("T%d: %v", u, op.Bar), func(ns *state) {
-			ns.th[u].pc++
-		})
-	default:
-		panic(fmt.Sprintf("explore: unsupported slot barrier %v", op.Bar))
-	}
-	return true
-}
-
-// commits generates one successor per eligible store-buffer entry of
-// thread u. Under TSO only the head may drain; under WMM an entry may
-// drain early unless an older entry has a lower fence level, writes
-// the same line, or the entry is a release that is not yet oldest.
-func (x *explorer) commits(st *state, u int, path []string) bool {
-	t := &st.th[u]
-	any := false
-	for k := range t.buf {
-		e := t.buf[k]
-		if !x.eligible(t, k) {
-			continue
-		}
-		if k > 0 && st.budget == 0 {
-			continue
-		}
-		any = true
-		desc := fmt.Sprintf("T%d: commit %s=%d", u, x.lineName(e.addr), e.val)
-		if k > 0 {
-			desc += " (out of order)"
-		}
-		k := k
-		x.step(st, path, desc, func(ns *state) {
-			nt := &ns.th[u]
-			old := ns.mem[e.addr]
-			ns.mem[e.addr] = e.val
-			nt.buf = append(nt.buf[:k], nt.buf[k+1:]...)
-			if len(nt.buf) == 0 {
-				nt.buf = nil
-			}
-			if k > 0 {
-				ns.budget--
-			}
-			nt.dropStaleAddr(e.addr)
-			if old != e.val && !x.tso {
-				for w := range ns.th {
-					if w != u {
-						ns.th[w].addStale(e.addr, old)
-					}
-				}
-			}
-		})
-	}
-	return any
-}
-
-func (x *explorer) eligible(t *tstate, k int) bool {
-	if x.tso {
-		return k == 0
-	}
-	e := t.buf[k]
-	if e.rel && k != 0 {
-		return false
-	}
-	for j := 0; j < k; j++ {
-		if t.buf[j].level < e.level || t.buf[j].addr == e.addr {
-			return false
-		}
-	}
-	return true
 }

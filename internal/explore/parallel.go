@@ -1,0 +1,73 @@
+package explore
+
+import "armbar/internal/runner"
+
+// This file is the frontier-sharding layer: the packed engine's
+// worklist is split into independent root-subtree work items executed
+// on the internal/runner pool. The discipline that makes the fan-out
+// safe is that exploration computes a *set* — the states reachable
+// from the initial state — and a union of subtree reachable sets does
+// not depend on how the frontier was split. Each worker runs a fully
+// private engine (own visited table, own scratch states, own outcome
+// set) over its share of frontier roots; at quiescence the per-worker
+// tables are merged into the root table (re-using the stored hashes,
+// so a merge probe costs the same as an insert) and the outcome sets
+// are unioned. Workers may redundantly re-visit states another
+// subtree also reaches — that costs wall-clock on overlap-heavy
+// lattices, never correctness, and the classic shapes shard with
+// little overlap because the frontier states already differ in
+// program counters.
+
+// frontierPerWorker sizes the sequential expansion: the root engine
+// expands until the worklist holds this many frames per pool worker
+// (or the space is exhausted first), so every worker gets several
+// independent subtrees to balance uneven subtree sizes.
+const frontierPerWorker = 4
+
+// runSharded drains the worklist with subtree work items on the pool.
+// The caller has already seeded the worklist via pushInit.
+func (x *fastExplorer) runSharded(pool *runner.Pool) {
+	target := pool.Workers() * frontierPerWorker
+	w := x.lay.stride
+	for len(x.stack) > 0 && len(x.stack)/w < target {
+		x.expandOne()
+	}
+	nf := len(x.stack) / w
+	if nf == 0 {
+		return
+	}
+	frontier := append([]byte(nil), x.stack...)
+	x.stack = x.stack[:0]
+	nshards := pool.Workers()
+	if nshards > nf {
+		nshards = nf
+	}
+	workers := runner.Map(pool, nshards, func(i int) *fastExplorer {
+		wx := newFastExplorer(x.shape, x.pl, x.tso, x.bound, nil)
+		// Strided assignment: frontier neighbors are DFS siblings
+		// with similar subtree sizes, so striding balances the
+		// shards.
+		for f := i; f < nf; f += nshards {
+			frame := frontier[f*w : (f+1)*w]
+			wx.lay.pack(frame, wx.pbuf)
+			wx.table.insert(wx.pbuf, hashWords(wx.pbuf))
+			wx.stack = append(wx.stack, frame...)
+		}
+		wx.run()
+		return wx
+	})
+	for _, wx := range workers {
+		wx.table.each(func(h uint64, ps []uint64) {
+			x.table.insert(ps, h)
+		})
+		for o := range wx.outcomes {
+			x.outcomes[o] = true
+		}
+		for o := range wx.forbidden {
+			x.forbidden[o] = true
+		}
+		if wx.sawForbidden {
+			x.sawForbidden = true
+		}
+	}
+}

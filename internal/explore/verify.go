@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 
+	"armbar/internal/runner"
 	"armbar/internal/sim"
 )
 
@@ -49,6 +50,15 @@ func (m *MinReport) MinimalDescribe(s *Shape) string {
 // minimal iff no safe strict subset exists, which the walk has fully
 // classified by the time it finishes.
 func Minimize(s *Shape, mode sim.Mode, bound int) *MinReport {
+	return MinimizePar(s, mode, bound, nil)
+}
+
+// MinimizePar is Minimize with each lattice-point exploration fanned
+// out over the pool (see ExplorePar). The lattice walk itself stays
+// sequential — monotone pruning is order-dependent — and the report
+// is bit-identical to Minimize at every pool width. Lattice points
+// are explored without witness replay: Minimize only needs verdicts.
+func MinimizePar(s *Shape, mode sim.Mode, bound int, pool *runner.Pool) *MinReport {
 	rep := &MinReport{Shape: s.Name, Mode: mode, Bound: bound}
 	naive := Naive(s)
 
@@ -63,6 +73,7 @@ func Minimize(s *Shape, mode sim.Mode, bound int) *MinReport {
 	}
 
 	var unsafe []Placement
+	var scr *fastExplorer
 	safe := make(map[Placement]bool)
 	for _, pl := range order {
 		pruned := false
@@ -76,7 +87,8 @@ func Minimize(s *Shape, mode sim.Mode, bound int) *MinReport {
 			rep.Pruned++
 			continue
 		}
-		r := Explore(s, pl, mode, bound)
+		r, re := exploreReuse(s, pl, mode, bound, pool, false, scr)
+		scr = re
 		rep.Explored++
 		rep.States += r.States
 		if r.Safe() {

@@ -1,0 +1,60 @@
+package figures
+
+import (
+	"armbar/internal/explore"
+	"armbar/internal/platform"
+	"armbar/internal/report"
+)
+
+// FenceFuzz is the fuzzing extension of fencemin: instead of the
+// twelve hand-written shapes, a seeded corpus of generated litmus
+// shapes — classic hazard skeletons with randomized values, barrier
+// kinds drawn from the full DMB/DSB/dependency grammar, and
+// verdict-neutral noise — is pushed through three independent
+// oracles: the packed explorer (exact reachability over every
+// placement of every shape, both memory modes), absmodel's
+// generalized closed-form clauses, and sim sampling containment. One
+// row per skeleton family aggregates its share of the corpus; Agree
+// must read true on every row.
+func FenceFuzz(o Options) *report.Table {
+	n := o.scale(220, 44)
+	runs := o.scale(6, 2)
+	fams := explore.Families()
+	p := platform.Kunpeng916()
+
+	type cell struct {
+		Cases    int
+		Explored int
+		States   int
+		Bad      int
+		FirstErr string
+	}
+	// One cell per skeleton family: corpus index i instantiates
+	// family i mod len(fams), so the family's slice of the corpus is
+	// a stride.
+	vals := cellMap(o, len(fams), func(fi int) cell {
+		var c cell
+		for i := fi; i < n; i += len(fams) {
+			fc := explore.CheckCase(explore.GenOne(o.seed(), i), runs, p, o.seed())
+			c.Cases++
+			c.Explored += fc.Explored
+			c.States += fc.States
+			if fc.Err != "" {
+				c.Bad++
+				if c.FirstErr == "" {
+					c.FirstErr = fc.Err
+				}
+			}
+		}
+		return c
+	})
+
+	t := report.New("Extension: three-oracle litmus fuzzing (explorer vs model vs simulator)",
+		"Family", "Cases", "Placements", "States", "Disagree", "Agree")
+	for fi, fam := range fams {
+		v := vals[fi]
+		t.Row(fam, v.Cases, v.Explored, v.States, v.Bad, v.Bad == 0)
+	}
+	t.Note = "Seeded corpus of generated litmus shapes (randomized values, slot barrier kinds, verdict-neutral noise); every placement of every shape explored under WMM and TSO and matched against absmodel's generalized fence clauses, with sim sampling contained in explorer reachability; Disagree counts shapes where any oracle diverged"
+	return t
+}

@@ -28,7 +28,7 @@ import (
 // the drift is intended (a semantics change, not a scheduler bug).
 const (
 	goldenFastDigest = "72b30bfa573e9fe4d805b9a433d1055d574ca31ec8c1ad0635a7a0ff6f54d4c5"
-	goldenAllDigest  = "cdc2290373d2448f432a090e49511504d3b5eb76960640e60f206059492fc399"
+	goldenAllDigest  = "7e1ab12f20cf7887ed65f5f4e0d6c1318553b34b0281387c4cdd1f24cd39b2b0"
 )
 
 // TestQuickOutputDigest is the direct-dispatch scheduler's determinism

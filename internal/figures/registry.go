@@ -52,6 +52,7 @@ var registry = []Experiment{
 	{"ablation", 5, ablationTables},
 	{"barrierzoo", 1, one(BarrierZoo)},
 	{"fencemin", 1, one(FenceMin)},
+	{"fencefuzz", 1, one(FenceFuzz)},
 }
 
 // ablationTables fans the five ablation sweeps out as independent

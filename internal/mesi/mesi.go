@@ -352,6 +352,19 @@ func (d *Directory) install(li uint64, ln *line, core topo.CoreID, now float64) 
 	ln.copies[r] = Copy{FetchedAt: now, core: core}
 }
 
+// Reserve pre-grows the copies slice of addr's line to hold n sharers,
+// so a run that fans the line out to many cores pays no append growth
+// inside the measured region. Capacity only: no copy is installed and
+// no sharer bit is set, so simulated state and timing are untouched.
+func (d *Directory) Reserve(addr uint64, n int) {
+	ln := d.lineAt(addr)
+	if cap(ln.copies) < n {
+		cp := make([]Copy, len(ln.copies), n)
+		copy(cp, ln.copies)
+		ln.copies = cp
+	}
+}
+
 // Fetch installs a fresh valid copy of addr's line at core, effective at
 // time now (after the miss latency has been paid by the caller). Any
 // previous (e.g. invalidated) copy the core held is replaced.

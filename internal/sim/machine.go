@@ -26,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -223,6 +224,27 @@ func (m *Machine) Spawn(core topo.CoreID, fn func(*Thread)) *Thread {
 	m.mu.Unlock()
 	go t.run(fn)
 	return t
+}
+
+// Settle blocks until every spawned thread has issued its first
+// operation and parked in the run queue awaiting Run. Spawn only
+// starts goroutines; on a single-P runtime none of them get to run —
+// and pay their one-time bookkeeping (execution environments, sudogs,
+// run-queue growth) — until the spawner first blocks, which is
+// normally inside Run. Benchmarks call Settle between spawning and
+// starting the timer so the measured region holds steady-state work
+// only. A no-op once every live thread is parked (or none were
+// spawned); must not be called after Run.
+func (m *Machine) Settle() {
+	for {
+		m.mu.Lock()
+		parked := m.runq.len() == m.alive
+		m.mu.Unlock()
+		if parked {
+			return
+		}
+		runtime.Gosched()
+	}
 }
 
 // Run arms the scheduler, lets all spawned threads execute to

@@ -17,6 +17,7 @@ import (
 
 	"armbar/internal/barrier"
 	"armbar/internal/cellcache"
+	"armbar/internal/explore"
 	"armbar/internal/isa"
 	"armbar/internal/mesi"
 	"armbar/internal/platform"
@@ -45,6 +46,7 @@ var Benches = []Bench{
 	{"BenchmarkBarrierScale64", BarrierScale64},
 	{"BenchmarkBarrierScale256", BarrierScale256},
 	{"BenchmarkBarrierScale1024", BarrierScale1024},
+	{"BenchmarkExploreStates", ExploreStates},
 }
 
 func newBenchMachine() *sim.Machine {
@@ -223,6 +225,7 @@ func barrierScale(b *testing.B, n int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	m.Settle()
 	b.ReportAllocs()
 	b.ResetTimer()
 	m.Run()
@@ -239,6 +242,28 @@ func BarrierScale256(b *testing.B) { barrierScale(b, 256) }
 // scale the sharded directory bitsets and padded thread slabs exist
 // for.
 func BarrierScale1024(b *testing.B) { barrierScale(b, 1024) }
+
+// ExploreStates measures the reorder-bounded explorer's throughput:
+// one op is a full placement-lattice minimization of the MP and chan
+// shapes under both memory models — the unit of work `armvet fencevet`
+// pays per shape and the fuzz gate pays per generated program. The
+// explorer's packed-state visit loop must stay allocation-free in
+// steady state, so the per-op byte count (dominated by the one-time
+// visited-table and frontier slabs) stays far below the state count.
+func ExploreStates(b *testing.B) {
+	shapes := []*explore.Shape{explore.MP(), explore.Chan()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	states := 0
+	for i := 0; i < b.N; i++ {
+		for _, s := range shapes {
+			for _, mode := range []sim.Mode{sim.WMM, sim.TSO} {
+				states += explore.Minimize(s, mode, explore.DefaultBound).States
+			}
+		}
+	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+}
 
 // CellCacheHit measures the result cache's per-cell lookup on a hit —
 // the SHA-256 key build plus the map probe every warm cell pays before

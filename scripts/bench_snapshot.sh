@@ -11,8 +11,8 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_sim.json
 
-raw=$(go test -run '^$' -bench 'Rendezvous|StoreCommit|StoreDMB|CompiledDispatch|CellCacheHit|DirectoryRank|DirectorySharerChurn|BarrierScale' -benchmem \
-	./internal/sim ./internal/cellcache ./internal/mesi ./internal/barrier)
+raw=$(go test -run '^$' -bench 'Rendezvous|StoreCommit|StoreDMB|CompiledDispatch|CellCacheHit|DirectoryRank|DirectorySharerChurn|BarrierScale|ExploreStates' -benchmem \
+	./internal/sim ./internal/cellcache ./internal/mesi ./internal/barrier ./internal/explore)
 
 # Result-cache context: time `-quick all` cold (fresh cache dir) and
 # warm (same dir, every cell replayed from disk). Recorded in the
@@ -45,8 +45,16 @@ printf '%s\n' "$raw" | awk \
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
+    # Key metrics off their unit labels, not field positions: custom
+    # benchmark metrics (e.g. ExploreStates states/sec) insert columns.
+    ns = "0"; bytes = "0"; allocs = "0"
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+    }
     benches[++n] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-        name, $2, $3, $5, $7)
+        name, $2, ns, bytes, allocs)
 }
 /^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
 END {
